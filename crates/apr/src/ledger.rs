@@ -1,0 +1,148 @@
+//! Cost accounting for the simulated test infrastructure.
+//!
+//! The paper reports search cost in *fitness (test-suite) evaluations* and
+//! *latency* (§IV-G: MWRepair needs ≈52 % of GenProg's fitness evaluations
+//! and ≈40× less latency thanks to parallelism). The ledger accumulates
+//! both: every simulated suite execution adds one evaluation and its
+//! simulated milliseconds; parallel phases report their *critical-path*
+//! latency separately from total CPU work.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Thread-safe accumulator of simulated evaluation costs.
+#[derive(Debug, Default)]
+pub struct CostLedger {
+    fitness_evals: AtomicU64,
+    simulated_ms: AtomicU64,
+    critical_path_ms: AtomicU64,
+}
+
+impl CostLedger {
+    /// Fresh ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one test-suite execution of `cost_ms` simulated milliseconds
+    /// of sequential work.
+    pub fn record_eval(&self, cost_ms: u64) {
+        self.fitness_evals.fetch_add(1, Ordering::Relaxed);
+        self.simulated_ms.fetch_add(cost_ms, Ordering::Relaxed);
+    }
+
+    /// Record the latency of one parallel phase: `max_ms` is the slowest
+    /// participant (the critical path — what a wall clock would see).
+    pub fn record_parallel_phase(&self, max_ms: u64) {
+        self.critical_path_ms.fetch_add(max_ms, Ordering::Relaxed);
+    }
+
+    /// Total test-suite executions so far.
+    pub fn fitness_evals(&self) -> u64 {
+        self.fitness_evals.load(Ordering::Relaxed)
+    }
+
+    /// Total sequential simulated work (CPU-milliseconds of testing).
+    pub fn simulated_ms(&self) -> u64 {
+        self.simulated_ms.load(Ordering::Relaxed)
+    }
+
+    /// Accumulated critical-path latency (wall-clock-equivalent
+    /// milliseconds under perfect parallelization of each phase).
+    pub fn critical_path_ms(&self) -> u64 {
+        self.critical_path_ms.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot for serialization / reporting.
+    pub fn snapshot(&self) -> CostSnapshot {
+        CostSnapshot {
+            fitness_evals: self.fitness_evals(),
+            simulated_ms: self.simulated_ms(),
+            critical_path_ms: self.critical_path_ms(),
+        }
+    }
+
+    /// Reset all counters.
+    pub fn reset(&self) {
+        self.fitness_evals.store(0, Ordering::Relaxed);
+        self.simulated_ms.store(0, Ordering::Relaxed);
+        self.critical_path_ms.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Immutable snapshot of a [`CostLedger`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostSnapshot {
+    /// Test-suite executions.
+    pub fitness_evals: u64,
+    /// Sequential simulated milliseconds.
+    pub simulated_ms: u64,
+    /// Critical-path (parallel wall-clock-equivalent) milliseconds.
+    pub critical_path_ms: u64,
+}
+
+impl CostSnapshot {
+    /// Speedup offered by parallel execution: sequential / critical-path.
+    pub fn parallel_speedup(&self) -> f64 {
+        if self.critical_path_ms == 0 {
+            1.0
+        } else {
+            self.simulated_ms as f64 / self.critical_path_ms as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate() {
+        let l = CostLedger::new();
+        l.record_eval(100);
+        l.record_eval(200);
+        l.record_parallel_phase(200);
+        assert_eq!(l.fitness_evals(), 2);
+        assert_eq!(l.simulated_ms(), 300);
+        assert_eq!(l.critical_path_ms(), 200);
+        let s = l.snapshot();
+        assert!((s.parallel_speedup() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let l = CostLedger::new();
+        l.record_eval(5);
+        l.reset();
+        assert_eq!(l.snapshot().fitness_evals, 0);
+        assert_eq!(l.snapshot().simulated_ms, 0);
+    }
+
+    #[test]
+    fn concurrent_recording_is_consistent() {
+        use std::sync::Arc;
+        let l = Arc::new(CostLedger::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let l = Arc::clone(&l);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        l.record_eval(3);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(l.fitness_evals(), 8000);
+        assert_eq!(l.simulated_ms(), 24_000);
+    }
+
+    #[test]
+    fn speedup_with_no_parallel_phase_is_one() {
+        let l = CostLedger::new();
+        l.record_eval(10);
+        assert_eq!(l.snapshot().parallel_speedup(), 1.0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Spectrum-based fault localization over the simulated coverage matrix.
+//!
+//! Real search-based APR tools weight their mutation sites by statement
+//! *suspiciousness* computed from the coverage spectrum — which statements
+//! the failing (bug-inducing) tests execute versus the passing ones. This
+//! module implements the two standard formulas (Tarantula and Ochiai) over
+//! the substrate's deterministic coverage matrix, and is what the AE
+//! baseline uses to order its enumeration worklist.
+//!
+//! Modelling note: a bug-inducing test always executes the defect
+//! statement (a fault lies on its own failing path), so the defect ranks
+//! at or near the top of the suspiciousness order — matching the behaviour
+//! of real spectra.
+
+use crate::program::Program;
+use crate::suite::TestSuite;
+use serde::{Deserialize, Serialize};
+
+/// Suspiciousness formula.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Formula {
+    /// Tarantula: `(f/F) / (f/F + p/P)`.
+    Tarantula,
+    /// Ochiai: `f / √(F·(f+p))`.
+    Ochiai,
+}
+
+/// Per-statement suspiciousness scores for one (program, suite) pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Localization {
+    scores: Vec<f64>,
+    formula: Formula,
+}
+
+/// Does `test` execute statement `stmt`?
+///
+/// Bug-inducing tests always cover the defect statement and otherwise
+/// execute a *narrow* path (each normally-covered statement survives with
+/// probability 0.35) — failing runs traverse focused paths, which is what
+/// gives real coverage spectra their localizing power.
+pub fn covers(program: &Program, suite: &TestSuite, stmt: usize, test: usize) -> bool {
+    let t = &suite.tests()[test];
+    if t.triggers_bug {
+        if stmt == program.defect_site {
+            return true;
+        }
+        return program.statements[stmt].covered_by(program.world_seed, test, suite.len())
+            && mwu_core::rng::keyed_bernoulli(
+                0.35,
+                &[program.world_seed, 0xB6_C0FE, stmt as u64, test as u64],
+            );
+    }
+    program.statements[stmt].covered_by(program.world_seed, test, suite.len())
+}
+
+/// Compute per-statement suspiciousness for the original (defective)
+/// program: required tests pass, bug-inducing tests fail.
+pub fn localize(program: &Program, suite: &TestSuite, formula: Formula) -> Localization {
+    let total_fail = suite.n_bug_tests().max(1) as f64;
+    let total_pass = suite.n_required().max(1) as f64;
+    let scores = (0..program.len())
+        .map(|stmt| {
+            let mut f = 0u32; // failing tests covering stmt
+            let mut p = 0u32; // passing tests covering stmt
+            for test in suite.tests() {
+                if covers(program, suite, stmt, test.id) {
+                    if test.triggers_bug {
+                        f += 1;
+                    } else {
+                        p += 1;
+                    }
+                }
+            }
+            let f = f as f64;
+            let p = p as f64;
+            match formula {
+                Formula::Tarantula => {
+                    let ff = f / total_fail;
+                    let pp = p / total_pass;
+                    if ff + pp == 0.0 {
+                        0.0
+                    } else {
+                        ff / (ff + pp)
+                    }
+                }
+                Formula::Ochiai => {
+                    let denom = (total_fail * (f + p)).sqrt();
+                    if denom == 0.0 {
+                        0.0
+                    } else {
+                        f / denom
+                    }
+                }
+            }
+        })
+        .collect();
+    Localization { scores, formula }
+}
+
+impl Localization {
+    /// Suspiciousness of statement `stmt`.
+    pub fn score(&self, stmt: usize) -> f64 {
+        self.scores[stmt]
+    }
+
+    /// All scores (indexed by statement id).
+    pub fn scores(&self) -> &[f64] {
+        &self.scores
+    }
+
+    /// The formula used.
+    pub fn formula(&self) -> Formula {
+        self.formula
+    }
+
+    /// Statement ids ordered by decreasing suspiciousness (ties: lower id
+    /// first — a deterministic order, as AE requires).
+    pub fn ranked_sites(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.scores.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.scores[b]
+                .total_cmp(&self.scores[a])
+                .then(a.cmp(&b))
+        });
+        order
+    }
+
+    /// Rank (0-based) of a statement in the suspiciousness order.
+    pub fn rank_of(&self, stmt: usize) -> usize {
+        self.ranked_sites()
+            .iter()
+            .position(|&s| s == stmt)
+            .expect("statement in range")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Program, TestSuite) {
+        let program = Program::synthetic("loc", 200, 31);
+        let suite = TestSuite::synthetic(40, 2, 31);
+        (program, suite)
+    }
+
+    #[test]
+    fn bug_tests_cover_the_defect() {
+        let (program, suite) = setup();
+        for t in suite.tests() {
+            if t.triggers_bug {
+                assert!(covers(&program, &suite, program.defect_site, t.id));
+            }
+        }
+    }
+
+    #[test]
+    fn defect_ranks_high_under_both_formulas() {
+        let (program, suite) = setup();
+        for formula in [Formula::Tarantula, Formula::Ochiai] {
+            let loc = localize(&program, &suite, formula);
+            let rank = loc.rank_of(program.defect_site);
+            assert!(
+                rank < program.len() / 10,
+                "{formula:?}: defect ranked {rank} of {}",
+                program.len()
+            );
+        }
+    }
+
+    #[test]
+    fn scores_are_bounded() {
+        let (program, suite) = setup();
+        let loc = localize(&program, &suite, Formula::Ochiai);
+        assert!(loc.scores().iter().all(|&s| (0.0..=1.0).contains(&s)));
+    }
+
+    #[test]
+    fn ranked_sites_is_a_permutation() {
+        let (program, suite) = setup();
+        let loc = localize(&program, &suite, Formula::Tarantula);
+        let mut r = loc.ranked_sites();
+        assert_eq!(r.len(), program.len());
+        r.sort_unstable();
+        assert!(r.windows(2).all(|w| w[1] == w[0] + 1));
+    }
+
+    #[test]
+    fn ranking_is_deterministic() {
+        let (program, suite) = setup();
+        let a = localize(&program, &suite, Formula::Ochiai).ranked_sites();
+        let b = localize(&program, &suite, Formula::Ochiai).ranked_sites();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uncovered_statement_scores_zero() {
+        // A statement covered by no failing test has Ochiai score 0.
+        let (program, suite) = setup();
+        let loc = localize(&program, &suite, Formula::Ochiai);
+        // At least one statement should be uncovered by the (few) bug tests.
+        assert!(loc.scores().contains(&0.0));
+    }
+}

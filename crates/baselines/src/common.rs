@@ -1,0 +1,61 @@
+//! Shared budget / outcome types for the baseline searches.
+
+use apr_sim::ledger::CostSnapshot;
+use apr_sim::Mutation;
+use serde::{Deserialize, Serialize};
+
+/// Search budget: fitness evaluations (the paper's cost unit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchBudget {
+    /// Maximum test-suite executions before giving up.
+    pub max_evals: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SearchBudget {
+    /// Budget with defaults used by the §IV-G comparison (GenProg-scale).
+    pub fn new(max_evals: u64, seed: u64) -> Self {
+        Self { max_evals, seed }
+    }
+}
+
+/// What a baseline search produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchOutcome {
+    /// Short algorithm name ("genprog", "rsrepair", "ae").
+    pub algorithm: &'static str,
+    /// The repairing mutation set, if found within budget.
+    pub repair: Option<Vec<Mutation>>,
+    /// Fitness evaluations used.
+    pub evals: u64,
+    /// Cost snapshot (sequential and critical-path simulated time).
+    pub cost: CostSnapshot,
+}
+
+impl SearchOutcome {
+    /// Did the search repair the defect?
+    pub fn is_repaired(&self) -> bool {
+        self.repair.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_flag() {
+        let o = SearchOutcome {
+            algorithm: "x",
+            repair: None,
+            evals: 1,
+            cost: CostSnapshot {
+                fitness_evals: 1,
+                simulated_ms: 1,
+                critical_path_ms: 1,
+            },
+        };
+        assert!(!o.is_repaired());
+    }
+}

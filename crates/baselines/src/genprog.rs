@@ -1,0 +1,261 @@
+//! GenProg-style genetic programming repair (Le Goues et al.).
+//!
+//! Population of program variants (mutation lists over the original
+//! program); fitness-proportional tournament selection; one-point crossover
+//! on the mutation lists; per-generation mutation appends one fresh random
+//! edit. Every variant evaluation runs the full suite (one fitness eval).
+//! Mutations are generated inside the loop — no precomputed pool — and the
+//! per-generation evaluations are parallel (GenProg parallelized test
+//! execution per variant; we model the critical path as one suite run per
+//! generation).
+
+use crate::common::{SearchBudget, SearchOutcome};
+use apr_sim::{BugScenario, CostLedger, Mutation};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// GenProg hyperparameters (defaults follow the original tool's common
+/// settings: population 40, small tournaments, crossover rate 0.5).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GenProgConfig {
+    /// Population size.
+    pub pop_size: usize,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+    /// Probability of crossover (vs. cloning) when producing offspring.
+    pub crossover_rate: f64,
+    /// Maximum genome length (mutation-list length) — GenProg genomes stay
+    /// short in practice; repairs are "redundant and can be minimized to
+    /// one or two single-statement edits".
+    pub max_genome: usize,
+}
+
+impl Default for GenProgConfig {
+    fn default() -> Self {
+        Self {
+            pop_size: 40,
+            tournament: 3,
+            crossover_rate: 0.5,
+            max_genome: 3,
+        }
+    }
+}
+
+/// The GenProg baseline.
+#[derive(Debug, Clone)]
+pub struct GenProg {
+    config: GenProgConfig,
+}
+
+#[derive(Clone)]
+struct Individual {
+    genome: Vec<Mutation>,
+    fitness: u32,
+}
+
+impl GenProg {
+    /// New instance with the given hyperparameters.
+    pub fn new(config: GenProgConfig) -> Self {
+        Self { config }
+    }
+
+    /// Run the search on `scenario` within `budget`.
+    pub fn run(
+        &self,
+        scenario: &BugScenario,
+        budget: &SearchBudget,
+        ledger: Option<&CostLedger>,
+    ) -> SearchOutcome {
+        let mut rng = SmallRng::seed_from_u64(budget.seed);
+        let sites = scenario.program.covered_sites(&scenario.suite);
+        let suite_cost = scenario.suite.full_run_cost_ms();
+        let max_fit = scenario.suite.max_fitness();
+        let mut evals: u64 = 0;
+        let own_ledger = CostLedger::new();
+        let ledger = ledger.unwrap_or(&own_ledger);
+
+        let eval = |genome: &[Mutation], evals: &mut u64| -> u32 {
+            *evals += 1;
+            scenario.evaluate(genome, Some(ledger)).fitness
+        };
+
+        // Initial population: single random edits.
+        let mut pop: Vec<Individual> = Vec::with_capacity(self.config.pop_size);
+        for _ in 0..self.config.pop_size {
+            if evals >= budget.max_evals {
+                break;
+            }
+            let genome = vec![Mutation::random(&scenario.program, &sites, &mut rng)];
+            let fitness = eval(&genome, &mut evals);
+            if fitness == max_fit {
+                ledger.record_parallel_phase(suite_cost);
+                return SearchOutcome {
+                    algorithm: "genprog",
+                    repair: Some(genome),
+                    evals,
+                    cost: ledger.snapshot(),
+                };
+            }
+            pop.push(Individual { genome, fitness });
+        }
+        ledger.record_parallel_phase(suite_cost);
+
+        while evals < budget.max_evals && !pop.is_empty() {
+            // Produce one generation.
+            let mut next: Vec<Individual> = Vec::with_capacity(self.config.pop_size);
+            while next.len() < self.config.pop_size && evals < budget.max_evals {
+                let a = self.select(&pop, &mut rng);
+                let mut child_genome = if rng.gen::<f64>() < self.config.crossover_rate {
+                    let b = self.select(&pop, &mut rng);
+                    crossover(&pop[a].genome, &pop[b].genome, &mut rng)
+                } else {
+                    pop[a].genome.clone()
+                };
+                // Genomes are capped: multi-edit children beyond the cap
+                // are truncated (long genomes are almost never all-safe —
+                // the paper's Fig. 4a argument against composing *untested*
+                // mutations applies to GenProg's own genomes).
+                child_genome.truncate(self.config.max_genome);
+                // Mutation step: one fresh edit per offspring, generated on
+                // the fly (the inefficiency the paper's precompute
+                // removes). Genomes at the length cap replace a random
+                // position instead of appending, so the search keeps moving
+                // rather than re-evaluating a frozen population.
+                let fresh = Mutation::random(&scenario.program, &sites, &mut rng);
+                if child_genome.len() < self.config.max_genome {
+                    child_genome.push(fresh);
+                } else {
+                    let slot = rng.gen_range(0..child_genome.len());
+                    child_genome[slot] = fresh;
+                }
+                let fitness = eval(&child_genome, &mut evals);
+                if fitness == max_fit {
+                    ledger.record_parallel_phase(suite_cost);
+                    return SearchOutcome {
+                        algorithm: "genprog",
+                        repair: Some(child_genome),
+                        evals,
+                        cost: ledger.snapshot(),
+                    };
+                }
+                next.push(Individual {
+                    genome: child_genome,
+                    fitness,
+                });
+            }
+            // One generation's evaluations run in parallel: critical path is
+            // one suite run.
+            ledger.record_parallel_phase(suite_cost);
+            if !next.is_empty() {
+                pop = next;
+            }
+        }
+
+        SearchOutcome {
+            algorithm: "genprog",
+            repair: None,
+            evals,
+            cost: ledger.snapshot(),
+        }
+    }
+
+    fn select(&self, pop: &[Individual], rng: &mut SmallRng) -> usize {
+        let mut best = rng.gen_range(0..pop.len());
+        for _ in 1..self.config.tournament {
+            let c = rng.gen_range(0..pop.len());
+            if pop[c].fitness > pop[best].fitness {
+                best = c;
+            }
+        }
+        best
+    }
+}
+
+fn crossover(a: &[Mutation], b: &[Mutation], rng: &mut SmallRng) -> Vec<Mutation> {
+    let cut_a = if a.is_empty() { 0 } else { rng.gen_range(0..=a.len()) };
+    let cut_b = if b.is_empty() { 0 } else { rng.gen_range(0..=b.len()) };
+    let mut child: Vec<Mutation> = a[..cut_a].to_vec();
+    child.extend_from_slice(&b[cut_b..]);
+    if child.is_empty() && !a.is_empty() {
+        child.push(a[0]);
+    }
+    child
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apr_sim::ScenarioKind;
+
+    fn easy_scenario() -> BugScenario {
+        // High repair rate so GenProg's 1–2 edit search finds it quickly.
+        BugScenario::custom("gp-easy", ScenarioKind::Synthetic, 40, 10, 300, 12, 0.05, 31)
+    }
+
+    #[test]
+    fn repairs_easy_scenario_within_budget() {
+        let s = easy_scenario();
+        let gp = GenProg::new(GenProgConfig::default());
+        let out = gp.run(&s, &SearchBudget::new(5_000, 1), None);
+        assert!(out.is_repaired(), "used {} evals", out.evals);
+        // Verify the repair reproduces.
+        let verify = s.evaluate(out.repair.as_ref().unwrap(), None);
+        assert!(verify.repaired);
+    }
+
+    #[test]
+    fn respects_eval_budget() {
+        let s = BugScenario::custom(
+            "gp-hard",
+            ScenarioKind::Synthetic,
+            40,
+            10,
+            300,
+            12,
+            0.0, // unrepairable
+            32,
+        );
+        let gp = GenProg::new(GenProgConfig::default());
+        let out = gp.run(&s, &SearchBudget::new(500, 2), None);
+        assert!(!out.is_repaired());
+        assert!(out.evals <= 500 + 40, "evals {}", out.evals);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let s = easy_scenario();
+        let gp = GenProg::new(GenProgConfig::default());
+        let a = gp.run(&s, &SearchBudget::new(2_000, 7), None);
+        let b = gp.run(&s, &SearchBudget::new(2_000, 7), None);
+        assert_eq!(a.evals, b.evals);
+        assert_eq!(a.repair, b.repair);
+    }
+
+    #[test]
+    fn crossover_produces_valid_child() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let s = easy_scenario();
+        let sites: Vec<usize> = (0..s.program.len()).collect();
+        let a: Vec<Mutation> = (0..3)
+            .map(|_| Mutation::random(&s.program, &sites, &mut rng))
+            .collect();
+        let b: Vec<Mutation> = (0..2)
+            .map(|_| Mutation::random(&s.program, &sites, &mut rng))
+            .collect();
+        for _ in 0..50 {
+            let c = crossover(&a, &b, &mut rng);
+            assert!(c.len() <= a.len() + b.len());
+            assert!(!c.is_empty());
+        }
+    }
+
+    #[test]
+    fn ledger_counts_match_reported_evals() {
+        let s = easy_scenario();
+        let ledger = CostLedger::new();
+        let gp = GenProg::new(GenProgConfig::default());
+        let out = gp.run(&s, &SearchBudget::new(2_000, 3), Some(&ledger));
+        assert_eq!(ledger.fitness_evals(), out.evals);
+    }
+}

@@ -1,0 +1,27 @@
+//! # apr-baselines
+//!
+//! The baseline search-based APR algorithms MWRepair is compared against in
+//! the paper's §IV-G: a GenProg-style genetic algorithm, RSRepair-style
+//! random search, and AE-style deterministic adaptive search. All three run
+//! against the same `apr-sim` substrate and `CostLedger` accounting as
+//! MWRepair, so fitness-evaluation counts and simulated latency are
+//! directly comparable.
+//!
+//! All baselines follow the field's practice that the paper critiques:
+//! mutations are generated **on the fly inside the search loop** (no
+//! precomputed pool) and applied **one or two at a time** — "even those
+//! that are capable of applying multiple mutations typically do so only one
+//! at a time" (§III).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ae;
+pub mod common;
+pub mod genprog;
+pub mod rsrepair;
+
+pub use ae::AdaptiveSearch;
+pub use common::{SearchBudget, SearchOutcome};
+pub use genprog::{GenProg, GenProgConfig};
+pub use rsrepair::RandomSearch;

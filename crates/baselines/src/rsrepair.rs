@@ -1,0 +1,130 @@
+//! RSRepair-style random search (Qi et al.).
+//!
+//! RSRepair showed that GenProg's genetic machinery often adds little over
+//! pure random search: sample a random single edit, test it, repeat. It is
+//! "parallel because no information is shared between threads" (paper §V-B)
+//! — we model `threads` independent probes per round, so the critical path
+//! per round is one suite run.
+
+use crate::common::{SearchBudget, SearchOutcome};
+use apr_sim::{BugScenario, CostLedger, Mutation};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// The RSRepair baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RandomSearch {
+    /// Independent probes per parallel round.
+    pub threads: usize,
+    /// Edits per probe (RSRepair samples single edits; 1 by default).
+    pub edits_per_probe: usize,
+}
+
+impl Default for RandomSearch {
+    fn default() -> Self {
+        Self {
+            threads: 16,
+            edits_per_probe: 1,
+        }
+    }
+}
+
+impl RandomSearch {
+    /// Run the search on `scenario` within `budget`.
+    pub fn run(
+        &self,
+        scenario: &BugScenario,
+        budget: &SearchBudget,
+        ledger: Option<&CostLedger>,
+    ) -> SearchOutcome {
+        assert!(self.threads > 0 && self.edits_per_probe > 0);
+        let mut rng = SmallRng::seed_from_u64(budget.seed);
+        let sites = scenario.program.covered_sites(&scenario.suite);
+        let suite_cost = scenario.suite.full_run_cost_ms();
+        let own_ledger = CostLedger::new();
+        let ledger = ledger.unwrap_or(&own_ledger);
+        let mut evals: u64 = 0;
+
+        while evals < budget.max_evals {
+            let round = (budget.max_evals - evals).min(self.threads as u64);
+            let mut found: Option<Vec<Mutation>> = None;
+            for _ in 0..round {
+                let genome: Vec<Mutation> = (0..self.edits_per_probe)
+                    .map(|_| Mutation::random(&scenario.program, &sites, &mut rng))
+                    .collect();
+                evals += 1;
+                let out = scenario.evaluate(&genome, Some(ledger));
+                if out.repaired && found.is_none() {
+                    found = Some(genome);
+                }
+            }
+            ledger.record_parallel_phase(suite_cost);
+            if let Some(genome) = found {
+                return SearchOutcome {
+                    algorithm: "rsrepair",
+                    repair: Some(genome),
+                    evals,
+                    cost: ledger.snapshot(),
+                };
+            }
+        }
+
+        SearchOutcome {
+            algorithm: "rsrepair",
+            repair: None,
+            evals,
+            cost: ledger.snapshot(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apr_sim::ScenarioKind;
+
+    #[test]
+    fn repairs_high_rate_scenario() {
+        let s = BugScenario::custom("rs-easy", ScenarioKind::Synthetic, 40, 10, 300, 12, 0.06, 41);
+        let out = RandomSearch::default().run(&s, &SearchBudget::new(8_000, 1), None);
+        assert!(out.is_repaired(), "evals {}", out.evals);
+        let verify = s.evaluate(out.repair.as_ref().unwrap(), None);
+        assert!(verify.repaired);
+    }
+
+    #[test]
+    fn budget_respected_exactly() {
+        let s = BugScenario::custom("rs-hard", ScenarioKind::Synthetic, 40, 10, 300, 12, 0.0, 42);
+        let out = RandomSearch::default().run(&s, &SearchBudget::new(100, 1), None);
+        assert!(!out.is_repaired());
+        assert_eq!(out.evals, 100);
+    }
+
+    #[test]
+    fn deterministic() {
+        let s = BugScenario::custom("rs-det", ScenarioKind::Synthetic, 40, 10, 300, 12, 0.03, 43);
+        let a = RandomSearch::default().run(&s, &SearchBudget::new(3_000, 9), None);
+        let b = RandomSearch::default().run(&s, &SearchBudget::new(3_000, 9), None);
+        assert_eq!(a.evals, b.evals);
+        assert_eq!(a.repair, b.repair);
+    }
+
+    #[test]
+    fn parallel_rounds_reduce_critical_path() {
+        let s = BugScenario::custom("rs-par", ScenarioKind::Synthetic, 40, 10, 300, 12, 0.0, 44);
+        let ledger = CostLedger::new();
+        let rs = RandomSearch {
+            threads: 32,
+            edits_per_probe: 1,
+        };
+        let out = rs.run(&s, &SearchBudget::new(320, 1), Some(&ledger));
+        assert_eq!(out.evals, 320);
+        // 320 evals in rounds of 32 ⇒ 10 rounds of critical path.
+        assert_eq!(
+            ledger.critical_path_ms(),
+            10 * s.suite.full_run_cost_ms()
+        );
+        assert!(out.cost.parallel_speedup() > 10.0);
+    }
+}

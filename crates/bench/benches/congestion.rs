@@ -1,0 +1,35 @@
+//! Table I communication entries: congestion measurement cost for the
+//! star (Standard/Slate synchronization) and random-neighbor (Distributed)
+//! patterns, plus the raw balls-into-bins kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use simnet::congestion::balls_into_bins_max;
+use simnet::Topology;
+
+fn bench_congestion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("congestion");
+    group.sample_size(20);
+    for &n in &[256usize, 4096, 65536] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("balls_into_bins", n), &n, |b, &n| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            b.iter(|| balls_into_bins_max(n, n, &mut rng));
+        });
+        group.bench_with_input(BenchmarkId::new("random_neighbor", n), &n, |b, &n| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            b.iter(|| Topology::RandomNeighbor.congestion(n, &mut rng));
+        });
+        if n <= 4096 {
+            group.bench_with_input(BenchmarkId::new("star", n), &n, |b, &n| {
+                let mut rng = SmallRng::seed_from_u64(1);
+                b.iter(|| Topology::Star.congestion(n, &mut rng));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_congestion);
+criterion_main!(benches);

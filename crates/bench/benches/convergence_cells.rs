@@ -1,0 +1,79 @@
+//! Tables II–IV micro-cells: full run-to-convergence of each variant on a
+//! small catalog dataset (the unit of work the tables aggregate 100× per
+//! cell). Also benches the stabilization-vs-strict convergence ablation
+//! for Standard.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mwu_core::prelude::*;
+use mwu_core::StandardConfig;
+use mwu_datasets::catalog;
+
+fn bench_cells(c: &mut Criterion) {
+    let dataset = catalog::by_name("random64").unwrap();
+    let k = dataset.size();
+    let mut group = c.benchmark_group("convergence_cells");
+    group.sample_size(10);
+
+    group.bench_function("standard_random64", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut alg = StandardMwu::new(k, StandardConfig::default());
+            let mut bandit = dataset.bandit();
+            run_to_convergence(&mut alg, &mut bandit, &RunConfig::seeded(seed))
+        });
+    });
+
+    group.bench_function("slate_random64", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut alg = SlateMwu::new(k, SlateConfig::default());
+            let mut bandit = dataset.bandit();
+            run_to_convergence(&mut alg, &mut bandit, &RunConfig::seeded(seed))
+        });
+    });
+
+    group.bench_function("distributed_random64", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut alg = DistributedMwu::try_new(k, DistributedConfig::default()).unwrap();
+            let mut bandit = dataset.bandit();
+            run_to_convergence(&mut alg, &mut bandit, &RunConfig::seeded(seed))
+        });
+    });
+
+    // Ablation: stabilization (default) vs strict convergence criterion on
+    // a clearly-separated instance where both terminate.
+    let mut sep_values = vec![0.05f64; 64];
+    sep_values[17] = 0.95;
+    group.bench_function("standard_stabilized_criterion", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut alg = StandardMwu::new(64, StandardConfig::default());
+            let mut bandit = ValueBandit::bernoulli(sep_values.clone());
+            run_to_convergence(&mut alg, &mut bandit, &RunConfig::seeded(seed))
+        });
+    });
+    group.bench_function("standard_strict_criterion", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut alg = StandardMwu::new(
+                64,
+                StandardConfig {
+                    stability_window: 0,
+                    ..StandardConfig::default()
+                },
+            );
+            let mut bandit = ValueBandit::bernoulli(sep_values.clone());
+            run_to_convergence(&mut alg, &mut bandit, &RunConfig::seeded(seed))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cells);
+criterion_main!(benches);

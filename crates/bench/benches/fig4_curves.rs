@@ -1,0 +1,39 @@
+//! Fig. 4a / 4b regeneration cost: Monte-Carlo estimation of the survival
+//! and repair-density curves (per-point trial batches).
+
+use apr_sim::fig4::{repair_density_curve, survival_curve, untested_survival_curve};
+use apr_sim::{BugScenario, ScenarioKind};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_curves(c: &mut Criterion) {
+    let scenario = BugScenario::custom(
+        "bench-fig4",
+        ScenarioKind::Synthetic,
+        100,
+        20,
+        800,
+        25,
+        0.01,
+        55,
+    );
+    let pool = scenario.build_pool(3, None);
+    let xs: Vec<usize> = (1..=100).step_by(10).collect();
+    let trials = 200;
+
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((xs.len() * trials) as u64));
+    group.bench_function("fig4a_survival", |b| {
+        b.iter(|| survival_curve(&scenario, &pool, &xs, trials, 1));
+    });
+    group.bench_function("fig4a_untested", |b| {
+        b.iter(|| untested_survival_curve(&scenario, &xs, trials, 1));
+    });
+    group.bench_function("fig4b_repair_density", |b| {
+        b.iter(|| repair_density_curve(&scenario, &pool, &xs, trials, 1));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_curves);
+criterion_main!(benches);

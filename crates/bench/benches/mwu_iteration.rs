@@ -1,0 +1,56 @@
+//! Per-update-cycle cost of each MWU variant (the compute profile behind
+//! Tables II and IV): one plan + evaluate + update cycle at several
+//! instance sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mwu_core::prelude::*;
+use mwu_datasets::random;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn one_cycle<A: MwuAlgorithm>(alg: &mut A, bandit: &mut ValueBandit, rng: &mut SmallRng) {
+    let plan = alg.plan(rng);
+    let mut rewards = Vec::with_capacity(plan.len());
+    for &arm in plan {
+        rewards.push(bandit.pull(arm, rng));
+    }
+    alg.update(&rewards, rng);
+}
+
+fn bench_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mwu_iteration");
+    group.sample_size(20);
+    for &k in &[64usize, 1024, 4096] {
+        let values = random::generate(k, 1);
+        group.throughput(Throughput::Elements(k as u64));
+
+        group.bench_with_input(BenchmarkId::new("standard", k), &k, |b, &k| {
+            let mut alg = StandardMwu::new(k, StandardConfig::default());
+            let mut bandit = ValueBandit::bernoulli(values.clone());
+            let mut rng = SmallRng::seed_from_u64(7);
+            b.iter(|| one_cycle(&mut alg, &mut bandit, &mut rng));
+        });
+
+        group.bench_with_input(BenchmarkId::new("slate", k), &k, |b, &k| {
+            let mut alg = SlateMwu::new(k, SlateConfig::default());
+            let mut bandit = ValueBandit::bernoulli(values.clone());
+            let mut rng = SmallRng::seed_from_u64(7);
+            b.iter(|| one_cycle(&mut alg, &mut bandit, &mut rng));
+        });
+
+        // Distributed's per-cycle cost is per *agent*; restrict to sizes
+        // whose populations keep the bench snappy.
+        if k <= 1024 {
+            group.bench_with_input(BenchmarkId::new("distributed", k), &k, |b, &k| {
+                let mut alg = DistributedMwu::try_new(k, DistributedConfig::default()).unwrap();
+                let mut bandit = ValueBandit::bernoulli(values.clone());
+                let mut rng = SmallRng::seed_from_u64(7);
+                b.iter(|| one_cycle(&mut alg, &mut bandit, &mut rng));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_iteration);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! The precompute phase (paper Fig. 5 phase 1, §III-C): building the
+//! safe-mutation pool. Embarrassingly parallel candidate validation —
+//! throughput per safe mutation at several pool sizes.
+
+use apr_sim::{BugScenario, MutationPool, ScenarioKind};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_precompute(c: &mut Criterion) {
+    let scenario = BugScenario::custom(
+        "bench-precompute",
+        ScenarioKind::Synthetic,
+        100,
+        20,
+        1000,
+        30,
+        0.005,
+        44,
+    );
+    let mut group = c.benchmark_group("precompute");
+    group.sample_size(10);
+    for &target in &[100usize, 500, 2000] {
+        group.throughput(Throughput::Elements(target as u64));
+        group.bench_with_input(BenchmarkId::new("pool", target), &target, |b, &target| {
+            b.iter(|| {
+                MutationPool::precompute(
+                    &scenario.program,
+                    &scenario.suite,
+                    &scenario.world,
+                    target,
+                    7,
+                    None,
+                )
+            });
+        });
+    }
+
+    // Incremental revalidation (suite growth, §III-C).
+    let pool = scenario.build_pool(7, None);
+    group.bench_function("revalidate_1000", |b| {
+        b.iter_batched(
+            || pool.clone(),
+            |mut p| p.revalidate(&scenario.world, 123, 20, 0.05, None),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_precompute);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! §IV-G end-to-end cost: MWRepair (each variant) versus the GenProg /
+//! RSRepair / AE baselines on a small repairable scenario. Criterion
+//! measures the *host* compute per full search — the simulated fitness-
+//! evaluation counts are the `repair_comparison` binary's job.
+
+use apr_baselines::{AdaptiveSearch, GenProg, GenProgConfig, RandomSearch, SearchBudget};
+use apr_sim::{BugScenario, ScenarioKind};
+use criterion::{criterion_group, criterion_main, Criterion};
+use mwrepair::{repair_with_variant, MwRepairConfig, VariantChoice};
+
+fn bench_repair(c: &mut Criterion) {
+    let scenario = BugScenario::custom(
+        "bench-repair",
+        ScenarioKind::Synthetic,
+        60,
+        12,
+        400,
+        15,
+        0.06,
+        21,
+    );
+    let pool = scenario.build_pool(1, None);
+    let mut group = c.benchmark_group("repair_end_to_end");
+    group.sample_size(10);
+
+    for variant in [
+        VariantChoice::Standard,
+        VariantChoice::Slate,
+        VariantChoice::Distributed,
+    ] {
+        group.bench_function(format!("mwrepair_{variant:?}").to_lowercase(), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                repair_with_variant(
+                    &scenario,
+                    &pool,
+                    variant,
+                    &MwRepairConfig::seeded(seed),
+                    None,
+                )
+                .unwrap()
+            });
+        });
+    }
+
+    group.bench_function("genprog", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            GenProg::new(GenProgConfig::default()).run(
+                &scenario,
+                &SearchBudget::new(10_000, seed),
+                None,
+            )
+        });
+    });
+    group.bench_function("rsrepair", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            RandomSearch::default().run(&scenario, &SearchBudget::new(10_000, seed), None)
+        });
+    });
+    group.bench_function("ae", |b| {
+        b.iter(|| AdaptiveSearch::default().run(&scenario, &SearchBudget::new(10_000, 0), None));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_repair);
+criterion_main!(benches);

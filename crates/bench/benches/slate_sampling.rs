@@ -1,0 +1,57 @@
+//! Ablation (paper §II-C): the O(k²) convex decomposition of the capped
+//! weight vector into slate vertices versus the O(k) systematic-sampling
+//! equivalent. Both achieve identical per-arm inclusion probabilities; the
+//! paper notes the naive subset projection is "prohibitively expensive"
+//! and the decomposition "requires O(k²) time" — this bench quantifies the
+//! gap against the default sampler.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mwu_core::slate::{decompose_into_slates, sample_decomposition, systematic_sample};
+use mwu_core::weights::WeightVector;
+use mwu_datasets::random;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn capped_q(k: usize, s: usize) -> Vec<f64> {
+    let w = WeightVector::from_weights(&random::generate(k, 3));
+    let capped = w.mix_uniform(0.05).capped(1.0 / s as f64);
+    capped
+        .probabilities()
+        .iter()
+        .map(|&p| (s as f64 * p).min(1.0))
+        .collect()
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("slate_sampling");
+    group.sample_size(20);
+    for &k in &[64usize, 256, 1024] {
+        let s = ((0.05 * k as f64).ceil() as usize).clamp(2, k);
+        let q = capped_q(k, s);
+
+        group.bench_with_input(BenchmarkId::new("systematic", k), &k, |b, _| {
+            let mut rng = SmallRng::seed_from_u64(9);
+            b.iter(|| systematic_sample(&q, s, &mut rng));
+        });
+
+        group.bench_with_input(BenchmarkId::new("convex_decomposition", k), &k, |b, _| {
+            let mut rng = SmallRng::seed_from_u64(9);
+            b.iter(|| {
+                let d = decompose_into_slates(&q, s);
+                sample_decomposition(&d, &mut rng)
+            });
+        });
+
+        // Decomposition reused across draws (amortized): decompose once,
+        // then sample vertices — the practical middle ground.
+        group.bench_with_input(BenchmarkId::new("decomposition_amortized", k), &k, |b, _| {
+            let d = decompose_into_slates(&q, s);
+            let mut rng = SmallRng::seed_from_u64(9);
+            b.iter(|| sample_decomposition(&d, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling);
+criterion_main!(benches);

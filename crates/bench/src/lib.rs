@@ -1,0 +1,18 @@
+//! # mwu-bench
+//!
+//! Criterion benchmarks, one per paper artifact or design-choice ablation:
+//!
+//! * `mwu_iteration` — per-update-cycle cost of each variant (Tables II/IV
+//!   compute profile).
+//! * `slate_sampling` — §II-C ablation: O(k²) convex decomposition vs O(k)
+//!   systematic sampling.
+//! * `precompute` — Fig. 5 phase 1: pool construction and incremental
+//!   revalidation throughput.
+//! * `fig4_curves` — Fig. 4a/4b Monte-Carlo estimation cost.
+//! * `repair_end_to_end` — §IV-G: MWRepair (all variants) vs baselines.
+//! * `congestion` — Table I communication entries.
+//! * `convergence_cells` — Tables II–IV cell units + convergence-criterion
+//!   ablation.
+//!
+//! Run with `cargo bench -p mwu-bench` (or a single target via
+//! `cargo bench -p mwu-bench --bench slate_sampling`).

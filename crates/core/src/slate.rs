@@ -1,0 +1,621 @@
+//! Slate MWU — fixed-size subset selection (paper Fig. 2, after Kale,
+//! Reyzin & Schapire's "slates" bandit).
+//!
+//! Each iteration selects a *slate* of `s` options; only the slate members
+//! are evaluated and only their weights are updated (importance-weighted by
+//! their inclusion probability). The paper notes (§II-C) that choosing a
+//! slate naively — projecting the weight vector onto each of the C(k, s)
+//! subsets — is prohibitively expensive, but because the weight vector can
+//! be **capped** at `1/s` and renormalized, the scaled vector `q = s·p` lies
+//! in the convex hull of the slate indicator vectors and can be decomposed
+//! into a convex combination of at most `k` slates in `O(k²)` time.
+//!
+//! This module implements both that decomposition
+//! ([`decompose_into_slates`]) and the operationally-equivalent systematic
+//! sampling procedure ([`systematic_sample`]) which achieves the same
+//! per-arm inclusion probabilities in `O(k)` per draw; the default
+//! configuration uses systematic sampling, and an ablation benchmark
+//! compares the two.
+
+use crate::convergence::{ConvergenceCriterion, ConvergenceState};
+use crate::cost::Variant;
+use crate::weights::WeightVector;
+use crate::{CommStats, MwuAlgorithm};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How the slate is drawn from the capped inclusion probabilities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SlateSampling {
+    /// Systematic (stratified) sampling: `O(k)` per draw, inclusion
+    /// probability of arm `i` exactly `q_i`. Default.
+    Systematic,
+    /// Full convex decomposition of `q` into slate vertices, then sample a
+    /// vertex: `O(k²)` per draw. Matches the paper's description literally;
+    /// used by tests and the ablation bench.
+    ConvexDecomposition,
+}
+
+/// Configuration for [`SlateMwu`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlateConfig {
+    /// Exploration rate γ: the probability mass mixed uniformly over all
+    /// options (paper §IV-B sets γ = 0.05). Also determines the default
+    /// slate size.
+    pub gamma: f64,
+    /// Slate size `s`. `None` derives the paper's setting `s = ⌈γ·k⌉`
+    /// (clamped to `[2, k]`) — the fixed γ "sets the k/n ratio to a
+    /// constant" (§IV-F.1).
+    pub slate_size: Option<usize>,
+    /// Learning rate for the exponential update. `None` derives
+    /// `η = 2·γ·s/k`, which bounds each exponent by
+    /// `η/q_min = 2·η·k/(2·s·γ) = 2` and so keeps single-round weight
+    /// multipliers ≤ e².
+    pub eta: Option<f64>,
+    /// Convergence tolerance on the leader's slate-inclusion probability
+    /// (paper §IV-C: 1e-5). Slate converges when that probability is within
+    /// the tolerance of its maximum possible value — i.e. the leader's
+    /// weight has saturated the 1/s cap, so the leader sits in *every*
+    /// slate. Unlike Standard's full-probability ceiling, this target is
+    /// reachable even among near-tied options (up to `s` options can
+    /// saturate the cap simultaneously), so Slate keeps the paper's strict
+    /// reading. It is also why Slate is the slowest variant in update
+    /// cycles and sometimes fails to converge within the budget (§IV-C).
+    pub tolerance: f64,
+    /// Quiet-streak length if stabilization-based convergence is wanted
+    /// instead (ablation); `0` (default) selects the cap-saturation rule.
+    pub stability_window: usize,
+    /// Sampling backend.
+    pub sampling: SlateSampling,
+}
+
+impl Default for SlateConfig {
+    fn default() -> Self {
+        Self {
+            gamma: 0.05,
+            slate_size: None,
+            eta: None,
+            tolerance: crate::convergence::DEFAULT_TOLERANCE,
+            stability_window: 0,
+            sampling: SlateSampling::Systematic,
+        }
+    }
+}
+
+/// The Slate MWU algorithm.
+///
+/// ```
+/// use mwu_core::prelude::*;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let mut alg = SlateMwu::new(20, SlateConfig::default());
+/// assert!(alg.slate_size() >= 2);
+/// let mut bandit = ValueBandit::exact(mwu_core::bandit::random_values(20, 9));
+/// let mut rng = SmallRng::seed_from_u64(0);
+/// for _ in 0..3000 {
+///     let plan = alg.plan(&mut rng).to_vec();
+///     let rewards: Vec<f64> =
+///         plan.iter().map(|&a| bandit.pull(a, &mut rng)).collect();
+///     alg.update(&rewards, &mut rng);
+/// }
+/// // The leader should be among the top arms.
+/// let v = bandit.expected_value(alg.leader());
+/// assert!(v > 0.8 * bandit.best_value());
+/// ```
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct SlateMwu {
+    weights: WeightVector,
+    config: SlateConfig,
+    slate_size: usize,
+    eta: f64,
+    convergence: ConvergenceState,
+    comm: CommStats,
+    iteration: usize,
+    plan_buf: Vec<usize>,
+    /// Inclusion probability q_i of each planned arm, aligned with plan_buf.
+    plan_q: Vec<f64>,
+    /// Last computed full inclusion-probability vector (for leader share).
+    inclusion: Vec<f64>,
+}
+
+impl SlateMwu {
+    /// Create over `k` options.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`, γ ∉ (0, 1), or an explicit slate size is outside
+    /// `[1, k]`.
+    pub fn new(k: usize, config: SlateConfig) -> Self {
+        assert!(k > 0, "need at least one option");
+        assert!(
+            config.gamma > 0.0 && config.gamma < 1.0,
+            "gamma must lie in (0, 1)"
+        );
+        let s = config
+            .slate_size
+            .unwrap_or_else(|| ((config.gamma * k as f64).ceil() as usize).clamp(2, k))
+            .min(k);
+        assert!(s >= 1, "slate size must be positive");
+        let eta = config.eta.unwrap_or(2.0 * config.gamma * s as f64 / k as f64);
+        assert!(eta > 0.0, "eta must be positive");
+        // Ceiling on the leader's inclusion probability: capping at 1/s
+        // means a fully-converged leader has q = 1 exactly (it is in every
+        // slate), provided (1−γ) + γ/k ≥ 1/s; for s ≥ 2 and γ = 0.05 this
+        // always holds, so max possible is 1.
+        let max_possible = 1.0f64.min(s as f64 * ((1.0 - config.gamma) + config.gamma / k as f64));
+        let criterion = if config.stability_window > 0 || s == k {
+            // A full slate (s == k) degenerates to full information and
+            // every option's inclusion probability is constantly 1 — the
+            // cap-saturation rule would fire immediately. Track the weight
+            // share's stabilization instead (see `leader_share`).
+            ConvergenceCriterion::LeaderShareStabilized {
+                tolerance: config.tolerance,
+                window: if config.stability_window > 0 {
+                    config.stability_window
+                } else {
+                    crate::convergence::DEFAULT_STABILITY_WINDOW
+                },
+            }
+        } else {
+            ConvergenceCriterion::WithinToleranceOfMax {
+                tolerance: config.tolerance,
+                max_possible,
+            }
+        };
+        Self {
+            weights: WeightVector::uniform(k),
+            config,
+            slate_size: s,
+            eta,
+            convergence: ConvergenceState::new(criterion),
+            comm: CommStats::default(),
+            iteration: 0,
+            plan_buf: Vec::with_capacity(s),
+            plan_q: Vec::with_capacity(s),
+            inclusion: vec![s as f64 / k as f64; k],
+        }
+    }
+
+    /// The slate size `s` in force.
+    pub fn slate_size(&self) -> usize {
+        self.slate_size
+    }
+
+    /// The derived learning rate η.
+    pub fn eta(&self) -> f64 {
+        self.eta
+    }
+
+    /// The current (uncapped) weight vector.
+    pub fn weights(&self) -> &WeightVector {
+        &self.weights
+    }
+
+    /// Completed update cycles.
+    pub fn iteration(&self) -> usize {
+        self.iteration
+    }
+
+    /// Inclusion probabilities `q_i = s·p_i^{capped}` from the current
+    /// weights: the chance each arm appears in the next slate.
+    pub fn inclusion_probabilities(&self) -> Vec<f64> {
+        let k = self.weights.len();
+        let s = self.slate_size;
+        let mixed = self.weights.mix_uniform(self.config.gamma);
+        let capped = mixed.capped(1.0 / s as f64);
+        (0..k)
+            .map(|i| (s as f64 * capped.get(i)).min(1.0))
+            .collect()
+    }
+}
+
+impl MwuAlgorithm for SlateMwu {
+    fn num_arms(&self) -> usize {
+        self.weights.len()
+    }
+
+    fn plan(&mut self, rng: &mut SmallRng) -> &[usize] {
+        let q = self.inclusion_probabilities();
+        let slate = match self.config.sampling {
+            SlateSampling::Systematic => systematic_sample(&q, self.slate_size, rng),
+            SlateSampling::ConvexDecomposition => {
+                let decomposition = decompose_into_slates(&q, self.slate_size);
+                sample_decomposition(&decomposition, rng)
+            }
+        };
+        self.plan_buf.clear();
+        self.plan_q.clear();
+        for &i in &slate {
+            self.plan_buf.push(i);
+            self.plan_q.push(q[i]);
+        }
+        self.inclusion = q;
+        &self.plan_buf
+    }
+
+    fn update(&mut self, rewards: &[f64], _rng: &mut SmallRng) {
+        assert_eq!(
+            rewards.len(),
+            self.plan_buf.len(),
+            "Slate expects one reward per slate member"
+        );
+        self.iteration += 1;
+        // Importance-weighted exponential update on the sampled arms only:
+        // ŵ_i ← ŵ_i · exp(η · r_i / q_i). Unbiased: E[r_i/q_i · 1{i∈S}] = v_i.
+        // Batched so the O(k) renormalization happens once per round, not
+        // once per sampled arm.
+        let updates: Vec<(usize, f64)> = self
+            .plan_buf
+            .iter()
+            .enumerate()
+            .map(|(j, &arm)| {
+                let q = self.plan_q[j].max(1e-12);
+                let g_hat = rewards[j].clamp(0.0, 1.0) / q;
+                (arm, (self.eta * g_hat).exp())
+            })
+            .collect();
+        self.weights.scale_many(&updates);
+        // The slate's s agents synchronize with the weight master each round.
+        self.comm
+            .record_round(self.slate_size, 2 * self.slate_size as u64);
+        self.convergence.observe(self.iteration, self.leader_share());
+    }
+
+    fn leader(&self) -> usize {
+        self.weights.argmax()
+    }
+
+    /// The leader's *inclusion probability* in the next slate — the quantity
+    /// the paper's convergence criterion tracks for Slate. With a full
+    /// slate (s == k, where inclusion is constantly 1) the weight share is
+    /// tracked instead.
+    fn leader_share(&self) -> f64 {
+        if self.slate_size == self.weights.len() {
+            self.weights.max_probability()
+        } else {
+            self.inclusion[self.weights.argmax()]
+        }
+    }
+
+    fn has_converged(&self) -> bool {
+        self.convergence.has_converged()
+    }
+
+    fn cpus_per_iteration(&self) -> usize {
+        self.slate_size
+    }
+
+    fn probabilities(&self) -> Vec<f64> {
+        self.weights.probabilities().to_vec()
+    }
+
+    fn comm_stats(&self) -> CommStats {
+        self.comm
+    }
+
+    fn name(&self) -> &'static str {
+        "slate"
+    }
+
+    fn variant(&self) -> Variant {
+        Variant::Slate
+    }
+}
+
+/// Systematic sampling of a size-`s` subset with inclusion probabilities
+/// exactly `q` (requires `Σq = s` and `0 ≤ q_i ≤ 1`).
+///
+/// One uniform draw `u` places `s` equally-spaced points `u, u+1, …, u+s−1`
+/// on the cumulative-sum axis of `q`; the arms whose cumulative intervals
+/// contain a point are selected. `O(k)` time, `O(s)` output.
+pub fn systematic_sample(q: &[f64], s: usize, rng: &mut SmallRng) -> Vec<usize> {
+    debug_assert!(q.iter().all(|&x| (-1e-9..=1.0 + 1e-9).contains(&x)));
+    let total: f64 = q.iter().sum();
+    debug_assert!(
+        (total - s as f64).abs() < 1e-6,
+        "inclusion probabilities must sum to s (got {total}, s={s})"
+    );
+    let u: f64 = rng.gen::<f64>();
+    let mut out = Vec::with_capacity(s);
+    let mut acc = 0.0;
+    let mut next = u; // next sampling point
+    for (i, &qi) in q.iter().enumerate() {
+        acc += qi.max(0.0);
+        while next < acc - 1e-15 && out.len() < s {
+            out.push(i);
+            next += 1.0;
+        }
+    }
+    // Floating-point slack: pad from the end if a point fell off the axis.
+    let mut fill = q.len();
+    while out.len() < s && fill > 0 {
+        fill -= 1;
+        if !out.contains(&fill) {
+            out.push(fill);
+        }
+    }
+    out
+}
+
+/// Convex decomposition of scaled inclusion probabilities into slates.
+///
+/// Given `q` with `Σq = s` and `0 ≤ q_i ≤ 1`, returns `(λ_j, S_j)` pairs with
+/// `Σλ_j = 1`, `|S_j| = s` and `Σ_j λ_j·1{i ∈ S_j} = q_i` — the decomposition
+/// the paper cites as requiring `O(k²)` time (§II-C).
+///
+/// Greedy peeling: repeatedly select the `s` currently-largest residuals as
+/// a slate and peel off the largest coefficient `λ` that keeps the residual
+/// problem feasible (every residual within `[0, B]` for remaining budget
+/// `B`). Each step zeroes a residual or pins one to the budget, so at most
+/// `2k` slates are produced.
+pub fn decompose_into_slates(q: &[f64], s: usize) -> Vec<(f64, Vec<usize>)> {
+    let k = q.len();
+    assert!(s >= 1 && s <= k, "slate size {s} out of range for k={k}");
+    let total: f64 = q.iter().sum();
+    assert!(
+        (total - s as f64).abs() < 1e-6,
+        "q must sum to s (got {total})"
+    );
+    let mut r: Vec<f64> = q.iter().map(|&x| x.clamp(0.0, 1.0)).collect();
+    let mut budget = 1.0f64;
+    let mut out: Vec<(f64, Vec<usize>)> = Vec::new();
+    let mut order: Vec<usize> = (0..k).collect();
+
+    for _ in 0..2 * k + 2 {
+        if budget <= 1e-12 {
+            break;
+        }
+        // Sort indices by residual, descending; the slate is the top s.
+        order.sort_unstable_by(|&a, &b| r[b].total_cmp(&r[a]));
+        let slate: Vec<usize> = order[..s].to_vec();
+        let min_in = slate.iter().map(|&i| r[i]).fold(f64::INFINITY, f64::min);
+        // Largest residual outside the slate (0 if none).
+        let max_out = if s < k { r[order[s]] } else { 0.0 };
+        // λ must not drive any in-slate residual negative (≤ min_in) and
+        // must not leave an out-of-slate residual above the shrunken budget
+        // (≥ budget − max_out ⇒ λ ≤ budget − max_out is the *upper* bound
+        // ... i.e. budget − λ ≥ max_out).
+        let lambda = min_in.min(budget - max_out).min(budget).max(0.0);
+        if lambda <= 1e-15 {
+            // Degenerate (numerical dust): spend the remaining budget on the
+            // current top-s slate and stop.
+            out.push((budget, slate));
+            budget = 0.0;
+            break;
+        }
+        for &i in &slate {
+            r[i] -= lambda;
+        }
+        budget -= lambda;
+        out.push((lambda, slate));
+    }
+    if budget > 1e-9 {
+        // Should be unreachable; keep total mass consistent regardless.
+        order.sort_unstable_by(|&a, &b| r[b].total_cmp(&r[a]));
+        out.push((budget, order[..s].to_vec()));
+    }
+    out
+}
+
+/// Draw one slate from a convex decomposition (vertex sampled ∝ λ).
+pub fn sample_decomposition(
+    decomposition: &[(f64, Vec<usize>)],
+    rng: &mut SmallRng,
+) -> Vec<usize> {
+    let total: f64 = decomposition.iter().map(|(l, _)| *l).sum();
+    let mut u: f64 = rng.gen::<f64>() * total;
+    for (lambda, slate) in decomposition {
+        if u < *lambda {
+            return slate.clone();
+        }
+        u -= lambda;
+    }
+    decomposition
+        .last()
+        .map(|(_, s)| s.clone())
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bandit::{random_values, Bandit, ValueBandit};
+    use rand::SeedableRng;
+
+    fn drive(alg: &mut SlateMwu, bandit: &mut ValueBandit, rounds: usize, seed: u64) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..rounds {
+            let plan = alg.plan(&mut rng).to_vec();
+            let rewards: Vec<f64> = plan.iter().map(|&a| bandit.pull(a, &mut rng)).collect();
+            alg.update(&rewards, &mut rng);
+            if alg.has_converged() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn default_slate_size_follows_gamma() {
+        assert_eq!(SlateMwu::new(100, SlateConfig::default()).slate_size(), 5);
+        assert_eq!(SlateMwu::new(1000, SlateConfig::default()).slate_size(), 50);
+        // Small k clamps to at least 2.
+        assert_eq!(SlateMwu::new(10, SlateConfig::default()).slate_size(), 2);
+    }
+
+    #[test]
+    fn plan_has_distinct_members_of_slate_size() {
+        let mut alg = SlateMwu::new(50, SlateConfig::default());
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let plan = alg.plan(&mut rng).to_vec();
+            assert_eq!(plan.len(), alg.slate_size());
+            let mut sorted = plan.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), plan.len(), "slate has duplicates");
+            let rewards = vec![0.5; plan.len()];
+            alg.update(&rewards, &mut rng);
+        }
+    }
+
+    #[test]
+    fn systematic_sample_matches_inclusion_probabilities() {
+        let q = vec![0.9, 0.5, 0.3, 0.2, 0.1];
+        let s = 2;
+        let mut rng = SmallRng::seed_from_u64(3);
+        let n = 40_000;
+        let mut counts = vec![0usize; q.len()];
+        for _ in 0..n {
+            let slate = systematic_sample(&q, s, &mut rng);
+            assert_eq!(slate.len(), s);
+            for i in slate {
+                counts[i] += 1;
+            }
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let rate = c as f64 / n as f64;
+            assert!(
+                (rate - q[i]).abs() < 0.02,
+                "arm {i}: rate {rate} vs q {}",
+                q[i]
+            );
+        }
+    }
+
+    #[test]
+    fn decomposition_is_convex_and_exact() {
+        let q = vec![1.0, 0.7, 0.5, 0.4, 0.25, 0.15];
+        let s = 3;
+        let d = decompose_into_slates(&q, s);
+        let lambda_sum: f64 = d.iter().map(|(l, _)| l).sum();
+        assert!((lambda_sum - 1.0).abs() < 1e-9, "λ sum {lambda_sum}");
+        let mut reconstructed = vec![0.0; q.len()];
+        for (lambda, slate) in &d {
+            assert_eq!(slate.len(), s);
+            for &i in slate {
+                reconstructed[i] += lambda;
+            }
+        }
+        for i in 0..q.len() {
+            assert!(
+                (reconstructed[i] - q[i]).abs() < 1e-9,
+                "arm {i}: {} vs {}",
+                reconstructed[i],
+                q[i]
+            );
+        }
+    }
+
+    #[test]
+    fn decomposition_handles_uniform_and_degenerate() {
+        // Uniform q = s/k.
+        let q = vec![0.5; 6];
+        let d = decompose_into_slates(&q, 3);
+        let lambda_sum: f64 = d.iter().map(|(l, _)| l).sum();
+        assert!((lambda_sum - 1.0).abs() < 1e-9);
+
+        // s == k: the only slate is everything.
+        let q = vec![1.0; 4];
+        let d = decompose_into_slates(&q, 4);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].1.len(), 4);
+    }
+
+    #[test]
+    fn decomposition_sampler_matches_inclusion() {
+        let q = vec![0.8, 0.6, 0.4, 0.2];
+        let d = decompose_into_slates(&q, 2);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let n = 40_000;
+        let mut counts = vec![0usize; q.len()];
+        for _ in 0..n {
+            for i in sample_decomposition(&d, &mut rng) {
+                counts[i] += 1;
+            }
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let rate = c as f64 / n as f64;
+            assert!((rate - q[i]).abs() < 0.02, "arm {i}: {rate} vs {}", q[i]);
+        }
+    }
+
+    #[test]
+    fn both_samplers_find_good_arms() {
+        for sampling in [SlateSampling::Systematic, SlateSampling::ConvexDecomposition] {
+            let mut alg = SlateMwu::new(
+                30,
+                SlateConfig {
+                    sampling,
+                    ..SlateConfig::default()
+                },
+            );
+            let values = random_values(30, 11);
+            let mut bandit = ValueBandit::exact(values);
+            drive(&mut alg, &mut bandit, 5000, 7);
+            let v = bandit.expected_value(alg.leader());
+            assert!(
+                v > 0.75 * bandit.best_value(),
+                "{sampling:?}: leader value {v} vs best {}",
+                bandit.best_value()
+            );
+        }
+    }
+
+    #[test]
+    fn cpu_count_is_slate_size() {
+        let alg = SlateMwu::new(200, SlateConfig::default());
+        assert_eq!(alg.cpus_per_iteration(), 10);
+    }
+
+    #[test]
+    fn congestion_is_slate_size() {
+        let mut alg = SlateMwu::new(100, SlateConfig::default());
+        let mut bandit = ValueBandit::exact(vec![0.5; 100]);
+        drive(&mut alg, &mut bandit, 4, 0);
+        let c = alg.comm_stats();
+        assert_eq!(c.peak_congestion, alg.slate_size());
+        assert_eq!(c.rounds, 4);
+    }
+
+    #[test]
+    fn inclusion_probabilities_sum_to_s_and_capped() {
+        let mut alg = SlateMwu::new(40, SlateConfig::default());
+        let mut bandit = ValueBandit::bernoulli(random_values(40, 2));
+        drive(&mut alg, &mut bandit, 200, 3);
+        let q = alg.inclusion_probabilities();
+        let sum: f64 = q.iter().sum();
+        assert!((sum - alg.slate_size() as f64).abs() < 1e-6);
+        assert!(q.iter().all(|&x| x <= 1.0 + 1e-9));
+    }
+
+    #[test]
+    fn converges_eventually_on_clear_winner() {
+        let mut values = vec![0.05; 40];
+        values[17] = 0.95;
+        let mut alg = SlateMwu::new(40, SlateConfig::default());
+        let mut bandit = ValueBandit::exact(values);
+        drive(&mut alg, &mut bandit, 100_000, 1);
+        assert!(alg.has_converged(), "iterations: {}", alg.iteration());
+        assert_eq!(alg.leader(), 17);
+        // Convergence = cap saturation: the leader sits in every slate.
+        assert!(alg.leader_share() > 1.0 - 2e-5, "share {}", alg.leader_share());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_arms_rejected() {
+        let _ = SlateMwu::new(0, SlateConfig::default());
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_gamma_rejected() {
+        let _ = SlateMwu::new(
+            10,
+            SlateConfig {
+                gamma: 1.5,
+                ..SlateConfig::default()
+            },
+        );
+    }
+}

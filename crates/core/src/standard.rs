@@ -1,0 +1,326 @@
+//! Standard MWU — the weighted-majority algorithm (paper Fig. 1).
+//!
+//! Standard assumes *full visibility* of the quality of every option on
+//! every iteration (§II-B): each of `k` parallel agents is assigned one
+//! option, evaluates it, and the shared weight vector is updated globally —
+//! a synchronization in which every agent communicates with the (logical)
+//! master holding the weights. Communication congestion is therefore `O(n)`
+//! with `n = k`, memory is `O(k)`, and convergence takes
+//! `O(ln(k)/ε²)` update cycles (Table I).
+
+use crate::convergence::{ConvergenceCriterion, ConvergenceState};
+use crate::cost::Variant;
+use crate::schedule::LearningRate;
+use crate::weights::WeightVector;
+use crate::{CommStats, MwuAlgorithm};
+use rand::rngs::SmallRng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for [`StandardMwu`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StandardConfig {
+    /// Learning rate η ≤ 1/2 (Fig. 1 input). Default: the classic η = 1/2,
+    /// under which a failed probe halves an option's weight.
+    pub eta: LearningRate,
+    /// Error threshold ε (paper §IV-B sets 0.05). Only affects the analytic
+    /// convergence bound reported by the cost model; the empirical stopping
+    /// rule is `tolerance` + `stability_window`.
+    pub epsilon: f64,
+    /// Convergence tolerance on the leader probability (paper §IV-C: 1e-5).
+    pub tolerance: f64,
+    /// Quiet-streak length for the stabilization criterion. `0` selects the
+    /// strict "leader share ≥ 1 − tolerance" rule instead (ablation only —
+    /// see `convergence` module docs for why strict cannot converge on
+    /// near-tied instances).
+    pub stability_window: usize,
+}
+
+impl Default for StandardConfig {
+    fn default() -> Self {
+        Self {
+            eta: LearningRate::half(),
+            epsilon: 0.05,
+            tolerance: crate::convergence::DEFAULT_TOLERANCE,
+            stability_window: crate::convergence::DEFAULT_STABILITY_WINDOW,
+        }
+    }
+}
+
+/// The Standard (weighted-majority) MWU algorithm.
+///
+/// ```
+/// use mwu_core::prelude::*;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let mut alg = StandardMwu::new(4, StandardConfig::default());
+/// let mut bandit = ValueBandit::exact(vec![0.1, 0.2, 0.9, 0.3]);
+/// let mut rng = SmallRng::seed_from_u64(0);
+/// for _ in 0..200 {
+///     let plan = alg.plan(&mut rng).to_vec();
+///     let rewards: Vec<f64> =
+///         plan.iter().map(|&a| bandit.pull(a, &mut rng)).collect();
+///     alg.update(&rewards, &mut rng);
+/// }
+/// assert_eq!(alg.leader(), 2);
+/// ```
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct StandardMwu {
+    weights: WeightVector,
+    config: StandardConfig,
+    convergence: ConvergenceState,
+    comm: CommStats,
+    iteration: usize,
+    plan_buf: Vec<usize>,
+}
+
+impl StandardMwu {
+    /// Create over `k` options.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or the learning-rate schedule violates η ≤ 1/2.
+    pub fn new(k: usize, config: StandardConfig) -> Self {
+        assert!(k > 0, "need at least one option");
+        assert!(
+            config.eta.is_valid(),
+            "learning rate must satisfy 0 < eta <= 1/2"
+        );
+        let criterion = if config.stability_window > 0 {
+            ConvergenceCriterion::LeaderShareStabilized {
+                tolerance: config.tolerance,
+                window: config.stability_window,
+            }
+        } else {
+            ConvergenceCriterion::WithinToleranceOfMax {
+                tolerance: config.tolerance,
+                max_possible: 1.0,
+            }
+        };
+        Self {
+            weights: WeightVector::uniform(k),
+            config,
+            convergence: ConvergenceState::new(criterion),
+            comm: CommStats::default(),
+            iteration: 0,
+            plan_buf: (0..k).collect(),
+        }
+    }
+
+    /// The current weight vector (normalized).
+    pub fn weights(&self) -> &WeightVector {
+        &self.weights
+    }
+
+    /// Completed update cycles.
+    pub fn iteration(&self) -> usize {
+        self.iteration
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &StandardConfig {
+        &self.config
+    }
+}
+
+impl MwuAlgorithm for StandardMwu {
+    fn num_arms(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Full information: every option is evaluated, one agent per option.
+    fn plan(&mut self, _rng: &mut SmallRng) -> &[usize] {
+        &self.plan_buf
+    }
+
+    fn update(&mut self, rewards: &[f64], _rng: &mut SmallRng) {
+        let k = self.weights.len();
+        assert_eq!(
+            rewards.len(),
+            k,
+            "Standard expects one reward per option per round"
+        );
+        self.iteration += 1;
+        let eta = self.config.eta.at(self.iteration);
+        // Fig. 1 penalizes cost multiplicatively: w_i ← w_i·(1−η)^{m(i)},
+        // with cost m = 1 − reward ∈ [0, 1]. Bernoulli feedback makes the
+        // cost 0 or 1 on almost every update; special-casing those avoids a
+        // powf in the hot loop (k multiplications per cycle).
+        let base = 1.0 - eta;
+        self.weights.scale_all(|i| {
+            let cost = 1.0 - rewards[i].clamp(0.0, 1.0);
+            if cost == 0.0 {
+                1.0
+            } else if cost == 1.0 {
+                base
+            } else {
+                base.powf(cost)
+            }
+        });
+        // Global synchronization: all k agents report to and hear back from
+        // the weight master — congestion k, 2k messages.
+        self.comm.record_round(k, 2 * k as u64);
+        self.convergence
+            .observe(self.iteration, self.weights.max_probability());
+    }
+
+    fn leader(&self) -> usize {
+        self.weights.argmax()
+    }
+
+    fn leader_share(&self) -> f64 {
+        self.weights.max_probability()
+    }
+
+    fn has_converged(&self) -> bool {
+        self.convergence.has_converged()
+    }
+
+    fn cpus_per_iteration(&self) -> usize {
+        self.weights.len()
+    }
+
+    fn probabilities(&self) -> Vec<f64> {
+        self.weights.probabilities().to_vec()
+    }
+
+    fn comm_stats(&self) -> CommStats {
+        self.comm
+    }
+
+    fn name(&self) -> &'static str {
+        "standard"
+    }
+
+    fn variant(&self) -> Variant {
+        Variant::Standard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bandit::{Bandit, ValueBandit};
+    use rand::SeedableRng;
+
+    fn drive(alg: &mut StandardMwu, bandit: &mut ValueBandit, rounds: usize, seed: u64) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..rounds {
+            let plan = alg.plan(&mut rng).to_vec();
+            let rewards: Vec<f64> = plan.iter().map(|&a| bandit.pull(a, &mut rng)).collect();
+            alg.update(&rewards, &mut rng);
+            if alg.has_converged() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn plan_covers_every_arm_once() {
+        let mut alg = StandardMwu::new(7, StandardConfig::default());
+        let mut rng = SmallRng::seed_from_u64(0);
+        let plan = alg.plan(&mut rng);
+        let mut seen = [false; 7];
+        for &a in plan {
+            assert!(!seen[a], "arm {a} planned twice");
+            seen[a] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn finds_best_arm_noise_free() {
+        let mut alg = StandardMwu::new(5, StandardConfig::default());
+        let mut bandit = ValueBandit::exact(vec![0.5, 0.2, 0.95, 0.5, 0.9]);
+        drive(&mut alg, &mut bandit, 10_000, 1);
+        assert_eq!(alg.leader(), 2);
+        assert!(alg.has_converged());
+    }
+
+    #[test]
+    fn finds_best_arm_with_bernoulli_noise() {
+        let mut hits = 0;
+        for seed in 0..10 {
+            let mut alg = StandardMwu::new(8, StandardConfig::default());
+            let mut bandit =
+                ValueBandit::bernoulli(vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.9]);
+            drive(&mut alg, &mut bandit, 10_000, seed);
+            if alg.leader() == 7 {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 8, "best arm found in only {hits}/10 runs");
+    }
+
+    #[test]
+    fn convergence_latches() {
+        let mut alg = StandardMwu::new(3, StandardConfig::default());
+        let mut bandit = ValueBandit::exact(vec![0.0, 1.0, 0.0]);
+        drive(&mut alg, &mut bandit, 10_000, 2);
+        assert!(alg.has_converged());
+        // Stabilization declares convergence once the trajectory quiets;
+        // with a clear winner the leader by then holds nearly all mass.
+        assert!(alg.leader_share() > 0.99, "share {}", alg.leader_share());
+    }
+
+    #[test]
+    fn strict_criterion_available_for_ablation() {
+        let mut alg = StandardMwu::new(
+            3,
+            StandardConfig {
+                stability_window: 0,
+                ..StandardConfig::default()
+            },
+        );
+        let mut bandit = ValueBandit::exact(vec![0.0, 1.0, 0.0]);
+        drive(&mut alg, &mut bandit, 10_000, 2);
+        assert!(alg.has_converged());
+        assert!(alg.leader_share() > 1.0 - 2e-5);
+    }
+
+    #[test]
+    fn cpu_count_is_k() {
+        let alg = StandardMwu::new(64, StandardConfig::default());
+        assert_eq!(alg.cpus_per_iteration(), 64);
+    }
+
+    #[test]
+    fn congestion_is_k_per_round() {
+        let mut alg = StandardMwu::new(16, StandardConfig::default());
+        let mut bandit = ValueBandit::exact(vec![0.5; 16]);
+        drive(&mut alg, &mut bandit, 3, 0);
+        let c = alg.comm_stats();
+        assert_eq!(c.rounds, 3);
+        assert_eq!(c.peak_congestion, 16);
+        assert_eq!(c.messages, 3 * 32);
+    }
+
+    #[test]
+    fn update_rejects_wrong_reward_count() {
+        let mut alg = StandardMwu::new(4, StandardConfig::default());
+        let mut rng = SmallRng::seed_from_u64(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            alg.update(&[1.0, 0.0], &mut rng);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_eta_rejected() {
+        let _ = StandardMwu::new(
+            4,
+            StandardConfig {
+                eta: LearningRate::Constant(0.9),
+                ..StandardConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let mut alg = StandardMwu::new(9, StandardConfig::default());
+        let mut bandit = ValueBandit::bernoulli(crate::bandit::random_values(9, 3));
+        drive(&mut alg, &mut bandit, 50, 4);
+        let sum: f64 = alg.probabilities().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+}

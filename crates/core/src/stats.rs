@@ -1,0 +1,249 @@
+//! Streaming statistics for experiment replication.
+//!
+//! Tables II–IV of the paper report "mean (std)" over 100 replicates of each
+//! (algorithm, scenario) cell. [`RunningStats`] accumulates those summaries
+//! in one pass (Welford's algorithm, numerically stable), and [`Summary`] is
+//! the serializable snapshot the experiment harness writes to CSV.
+
+use serde::{Deserialize, Serialize};
+
+/// One-pass mean / variance / min / max accumulator (Welford).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample variance with Bessel's correction (0.0 with < 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (NaN-free input assumed; +inf when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (−inf when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Snapshot as a serializable [`Summary`].
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.n,
+            mean: self.mean(),
+            std_dev: self.std_dev(),
+            min: if self.n == 0 { 0.0 } else { self.min },
+            max: if self.n == 0 { 0.0 } else { self.max },
+        }
+    }
+}
+
+impl Extend<f64> for RunningStats {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for RunningStats {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = RunningStats::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// Immutable snapshot of a [`RunningStats`], as written to result CSVs and
+/// printed into table cells.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of replicates aggregated.
+    pub count: u64,
+    /// Mean over replicates.
+    pub mean: f64,
+    /// Sample standard deviation over replicates.
+    pub std_dev: f64,
+    /// Minimum observed value.
+    pub min: f64,
+    /// Maximum observed value.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Format as the paper's "mean (std)" cell with the given precision.
+    pub fn cell(&self, precision: usize) -> String {
+        format!(
+            "{:.p$} ({:.p$})",
+            self.mean,
+            self.std_dev,
+            p = precision
+        )
+    }
+}
+
+/// Mean of a slice (0.0 when empty). Convenience for small one-off uses.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample standard deviation of a slice (0.0 with < 2 elements).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = RunningStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let s: RunningStats = [5.0].into_iter().collect();
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.min(), 5.0);
+        assert_eq!(s.max(), 5.0);
+    }
+
+    #[test]
+    fn matches_textbook_formulas() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s: RunningStats = xs.into_iter().collect();
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Sample variance of this classic dataset is 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64).sin() * 10.0).collect();
+        let seq: RunningStats = xs.iter().copied().collect();
+        let mut a: RunningStats = xs[..300].iter().copied().collect();
+        let b: RunningStats = xs[300..].iter().copied().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), seq.count());
+        assert!((a.mean() - seq.mean()).abs() < 1e-9);
+        assert!((a.variance() - seq.variance()).abs() < 1e-6);
+        assert_eq!(a.min(), seq.min());
+        assert_eq!(a.max(), seq.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a: RunningStats = [1.0, 2.0, 3.0].into_iter().collect();
+        let before = a;
+        a.merge(&RunningStats::new());
+        assert_eq!(a, before);
+
+        let mut e = RunningStats::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn summary_cell_formatting() {
+        let s: RunningStats = [1.0, 2.0, 3.0].into_iter().collect();
+        assert_eq!(s.summary().cell(1), "2.0 (1.0)");
+    }
+
+    #[test]
+    fn slice_helpers() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert!((std_dev(&[1.0, 3.0]) - (2.0f64).sqrt()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,389 @@
+//! Normalized weight vectors over the probability simplex.
+//!
+//! The explicit-memory MWU variants (Standard, Slate) maintain a weight
+//! `w_i > 0` per option. [`WeightVector`] stores the weights *normalized*
+//! (summing to 1) and renormalizes after every multiplicative update, which
+//! keeps the representation immune to the underflow that raw multiplicative
+//! weights suffer after a few thousand iterations.
+//!
+//! For the Slate variant the vector must additionally be *capped*: no
+//! coordinate may exceed `1/s` (where `s` is the slate size) so that the
+//! scaled vector `q = s·p` lies inside the convex hull of the slate
+//! indicator vectors (§II-C of the paper). [`WeightVector::capped`]
+//! implements the water-filling cap-and-renormalize step.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A probability vector over `k` options with multiplicative-update support.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightVector {
+    p: Vec<f64>,
+}
+
+impl WeightVector {
+    /// Uniform distribution over `k` options (the MWU initialization
+    /// `w_i = 1` of Fig. 1, normalized).
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn uniform(k: usize) -> Self {
+        assert!(k > 0, "weight vector needs at least one option");
+        Self {
+            p: vec![1.0 / k as f64; k],
+        }
+    }
+
+    /// Build from arbitrary non-negative weights (normalized on entry).
+    ///
+    /// # Panics
+    /// Panics if the weights are empty, contain a negative or non-finite
+    /// entry, or sum to zero.
+    pub fn from_weights(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty());
+        let sum: f64 = weights.iter().sum();
+        assert!(
+            sum.is_finite() && sum > 0.0,
+            "weights must have a positive finite sum"
+        );
+        for &w in weights {
+            assert!(w.is_finite() && w >= 0.0, "weights must be non-negative");
+        }
+        Self {
+            p: weights.iter().map(|w| w / sum).collect(),
+        }
+    }
+
+    /// Number of options.
+    pub fn len(&self) -> usize {
+        self.p.len()
+    }
+
+    /// True when the vector has no options (never constructible; kept for
+    /// API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.p.is_empty()
+    }
+
+    /// Probability of option `i`.
+    pub fn get(&self, i: usize) -> f64 {
+        self.p[i]
+    }
+
+    /// The normalized probabilities.
+    pub fn probabilities(&self) -> &[f64] {
+        &self.p
+    }
+
+    /// Index of the highest-probability option (ties: lowest index).
+    pub fn argmax(&self) -> usize {
+        let mut best = 0;
+        for i in 1..self.p.len() {
+            if self.p[i] > self.p[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Probability of the argmax option.
+    pub fn max_probability(&self) -> f64 {
+        self.p[self.argmax()]
+    }
+
+    /// Shannon entropy in nats. Uniform → ln k; a point mass → 0.
+    pub fn entropy(&self) -> f64 {
+        self.p
+            .iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| -p * p.ln())
+            .sum()
+    }
+
+    /// Multiplicative update: `w_i ← w_i · factor(i)`, then renormalize.
+    ///
+    /// `factor` must return a finite non-negative multiplier. A floor of
+    /// `1e-300` per coordinate (before normalization) prevents the vector
+    /// from collapsing to all-zero under extreme penalties.
+    pub fn scale_all<F: FnMut(usize) -> f64>(&mut self, mut factor: F) {
+        for (i, p) in self.p.iter_mut().enumerate() {
+            let f = factor(i);
+            debug_assert!(f.is_finite() && f >= 0.0, "bad multiplier {f}");
+            *p = (*p * f).max(1e-300);
+        }
+        self.renormalize();
+    }
+
+    /// Multiplicative update of a single coordinate, then renormalize.
+    pub fn scale_one(&mut self, i: usize, factor: f64) {
+        debug_assert!(factor.is_finite() && factor >= 0.0);
+        self.p[i] = (self.p[i] * factor).max(1e-300);
+        self.renormalize();
+    }
+
+    /// Batch multiplicative update: scale each `(index, factor)` pair, then
+    /// renormalize once. Equivalent to a sequence of [`Self::scale_one`]
+    /// calls but with a single O(k) normalization pass — the hot path for
+    /// Slate, which updates `s` sampled coordinates per round.
+    pub fn scale_many(&mut self, updates: &[(usize, f64)]) {
+        for &(i, f) in updates {
+            debug_assert!(f.is_finite() && f >= 0.0, "bad multiplier {f}");
+            self.p[i] = (self.p[i] * f).max(1e-300);
+        }
+        self.renormalize();
+    }
+
+    /// Mix with the uniform distribution:
+    /// `p ← (1−γ)·p + γ/k` — the exploration floor used by Slate.
+    pub fn mix_uniform(&self, gamma: f64) -> WeightVector {
+        debug_assert!((0.0..=1.0).contains(&gamma));
+        let k = self.p.len() as f64;
+        WeightVector {
+            p: self.p.iter().map(|&p| (1.0 - gamma) * p + gamma / k).collect(),
+        }
+    }
+
+    /// Cap-and-renormalize: the closest vector (in the water-filling sense)
+    /// with every coordinate ≤ `cap`, still summing to 1.
+    ///
+    /// Used by Slate with `cap = 1/s` so that `s · p` is a valid vector of
+    /// inclusion probabilities (each ≤ 1). Mass removed from capped
+    /// coordinates is redistributed proportionally among the uncapped ones,
+    /// iterating until no coordinate exceeds the cap (at most `k` rounds,
+    /// each capping ≥ 1 new coordinate).
+    ///
+    /// # Panics
+    /// Panics if `cap · k < 1` (the simplex has no point below the cap).
+    pub fn capped(&self, cap: f64) -> WeightVector {
+        let k = self.p.len();
+        assert!(
+            cap * k as f64 >= 1.0 - 1e-12,
+            "cap {cap} too small for {k} options"
+        );
+        let mut p = self.p.clone();
+        let mut fixed = vec![false; k];
+        loop {
+            // Mass already frozen at the cap, and the mass of free coords.
+            let mut over = false;
+            let mut free_sum = 0.0;
+            let mut fixed_sum = 0.0;
+            for i in 0..k {
+                if fixed[i] {
+                    fixed_sum += cap;
+                } else if p[i] >= cap {
+                    fixed[i] = true;
+                    fixed_sum += cap;
+                    over = true;
+                } else {
+                    free_sum += p[i];
+                }
+            }
+            if !over {
+                break;
+            }
+            let remaining = (1.0 - fixed_sum).max(0.0);
+            if free_sum <= 0.0 {
+                // Everything capped: distribute the remainder uniformly over
+                // non-fixed coords (possible only through rounding).
+                break;
+            }
+            let scale = remaining / free_sum;
+            for i in 0..k {
+                if fixed[i] {
+                    p[i] = cap;
+                } else {
+                    p[i] *= scale;
+                }
+            }
+        }
+        for i in 0..k {
+            if fixed[i] {
+                p[i] = cap;
+            }
+        }
+        let mut out = WeightVector { p };
+        out.renormalize();
+        out
+    }
+
+    /// Sample one option index proportional to probability.
+    pub fn sample(&self, rng: &mut SmallRng) -> usize {
+        let u: f64 = rng.gen();
+        let mut acc = 0.0;
+        for (i, &p) in self.p.iter().enumerate() {
+            acc += p;
+            if u < acc {
+                return i;
+            }
+        }
+        // Rounding tail: return the last option.
+        self.p.len() - 1
+    }
+
+    /// Largest coordinate / cap diagnostics helper: true if some coordinate
+    /// exceeds `cap` by more than `eps`.
+    pub fn exceeds_cap(&self, cap: f64, eps: f64) -> bool {
+        self.p.iter().any(|&p| p > cap + eps)
+    }
+
+    fn renormalize(&mut self) {
+        let sum: f64 = self.p.iter().sum();
+        debug_assert!(sum.is_finite() && sum > 0.0, "degenerate weight sum {sum}");
+        let inv = 1.0 / sum;
+        for p in &mut self.p {
+            *p *= inv;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn assert_simplex(w: &WeightVector) {
+        let sum: f64 = w.probabilities().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+        assert!(w.probabilities().iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn uniform_is_uniform() {
+        let w = WeightVector::uniform(8);
+        assert_eq!(w.len(), 8);
+        for i in 0..8 {
+            assert!((w.get(i) - 0.125).abs() < 1e-12);
+        }
+        assert_simplex(&w);
+        assert!((w.entropy() - (8f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn uniform_zero_panics() {
+        let _ = WeightVector::uniform(0);
+    }
+
+    #[test]
+    fn from_weights_normalizes() {
+        let w = WeightVector::from_weights(&[1.0, 3.0]);
+        assert!((w.get(0) - 0.25).abs() < 1e-12);
+        assert!((w.get(1) - 0.75).abs() < 1e-12);
+        assert_eq!(w.argmax(), 1);
+    }
+
+    #[test]
+    fn scale_all_concentrates_on_winner() {
+        let mut w = WeightVector::uniform(4);
+        for _ in 0..200 {
+            w.scale_all(|i| if i == 2 { 1.0 } else { 0.5 });
+        }
+        assert_eq!(w.argmax(), 2);
+        assert!(w.max_probability() > 1.0 - 1e-9);
+        assert_simplex(&w);
+    }
+
+    #[test]
+    fn no_underflow_after_many_updates() {
+        let mut w = WeightVector::uniform(16);
+        for _ in 0..100_000 {
+            w.scale_all(|i| if i == 0 { 1.0 } else { 0.9 });
+        }
+        assert_simplex(&w);
+        assert_eq!(w.argmax(), 0);
+        // Losers remain representable (non-NaN, ≥ 0).
+        assert!(w.probabilities().iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn scale_many_matches_sequential_scale_one() {
+        let mut a = WeightVector::from_weights(&[1.0, 2.0, 3.0, 4.0]);
+        let mut b = a.clone();
+        a.scale_one(1, 2.0);
+        a.scale_one(3, 0.5);
+        b.scale_many(&[(1, 2.0), (3, 0.5)]);
+        for i in 0..4 {
+            assert!((a.get(i) - b.get(i)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn capped_respects_cap_and_simplex() {
+        let w = WeightVector::from_weights(&[100.0, 1.0, 1.0, 1.0]);
+        let c = w.capped(0.5);
+        assert_simplex(&c);
+        assert!(!c.exceeds_cap(0.5, 1e-9));
+        // The capped coordinate sits exactly at the cap.
+        assert!((c.get(0) - 0.5).abs() < 1e-9);
+        // The rest keep their relative proportions.
+        assert!((c.get(1) - c.get(2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capped_cascades_to_second_coordinate() {
+        // After capping coord 0, coord 1 can itself exceed the cap and must
+        // be capped in a second round.
+        let w = WeightVector::from_weights(&[1000.0, 500.0, 1.0, 1.0, 1.0, 1.0]);
+        let c = w.capped(0.25);
+        assert_simplex(&c);
+        assert!(!c.exceeds_cap(0.25, 1e-9));
+        assert!((c.get(0) - 0.25).abs() < 1e-9);
+        assert!((c.get(1) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capped_noop_when_already_below_cap() {
+        let w = WeightVector::uniform(10);
+        let c = w.capped(0.2);
+        for i in 0..10 {
+            assert!((c.get(i) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn capped_infeasible_cap_panics() {
+        let w = WeightVector::uniform(4);
+        let _ = w.capped(0.2); // 4 * 0.2 < 1
+    }
+
+    #[test]
+    fn mix_uniform_keeps_simplex_and_floors() {
+        let w = WeightVector::from_weights(&[1.0, 0.0, 0.0, 0.0]);
+        let m = w.mix_uniform(0.2);
+        assert_simplex(&m);
+        for i in 1..4 {
+            assert!((m.get(i) - 0.05).abs() < 1e-12);
+        }
+        assert!((m.get(0) - 0.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_follows_distribution() {
+        let w = WeightVector::from_weights(&[0.1, 0.9]);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 20_000;
+        let ones = (0..n).filter(|_| w.sample(&mut rng) == 1).count();
+        let rate = ones as f64 / n as f64;
+        assert!((rate - 0.9).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn sample_handles_rounding_tail() {
+        let w = WeightVector::uniform(3);
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            assert!(w.sample(&mut rng) < 3);
+        }
+    }
+
+    #[test]
+    fn entropy_of_point_mass_is_zero() {
+        let mut w = WeightVector::uniform(4);
+        for _ in 0..2000 {
+            w.scale_all(|i| if i == 1 { 1.0 } else { 0.1 });
+        }
+        assert!(w.entropy() < 1e-6);
+    }
+}

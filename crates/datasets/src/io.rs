@@ -1,0 +1,141 @@
+//! Plain-CSV persistence for datasets and generic result rows.
+//!
+//! The experiment binaries write every regenerated table/figure into
+//! `results/` as CSV so figures can be replotted without rerunning; the
+//! format here is deliberately dependency-free (two columns for datasets,
+//! caller-defined rows for results).
+
+use crate::catalog::{Dataset, Family};
+use std::fmt::Write as _;
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// Serialize a dataset as `index,value` CSV with a `# name=...,family=...`
+/// header comment.
+pub fn dataset_to_csv(d: &Dataset) -> String {
+    let mut out = String::with_capacity(d.values.len() * 12 + 64);
+    let _ = writeln!(out, "# name={},family={}", d.name, d.family.label());
+    out.push_str("index,value\n");
+    for (i, v) in d.values.iter().enumerate() {
+        let _ = writeln!(out, "{i},{v:.12}");
+    }
+    out
+}
+
+/// Parse a dataset from the CSV produced by [`dataset_to_csv`].
+pub fn dataset_from_csv<R: Read>(r: R) -> io::Result<Dataset> {
+    let reader = BufReader::new(r);
+    let mut name = String::from("unnamed");
+    let mut family = Family::Random;
+    let mut values = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(meta) = line.strip_prefix('#') {
+            for kv in meta.split(',') {
+                let mut it = kv.trim().splitn(2, '=');
+                match (it.next(), it.next()) {
+                    (Some("name"), Some(v)) => name = v.to_string(),
+                    (Some("family"), Some(v)) => {
+                        family = match v {
+                            "random" => Family::Random,
+                            "unimodal" => Family::Unimodal,
+                            "C" => Family::C,
+                            "Java" => Family::Java,
+                            other => {
+                                return Err(io::Error::new(
+                                    io::ErrorKind::InvalidData,
+                                    format!("unknown family {other:?}"),
+                                ))
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            continue;
+        }
+        if line == "index,value" {
+            continue;
+        }
+        let mut cols = line.split(',');
+        let _idx = cols.next();
+        let v: f64 = cols
+            .next()
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {lineno}: missing value column"),
+                )
+            })?
+            .parse()
+            .map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("line {lineno}: {e}"))
+            })?;
+        values.push(v);
+    }
+    if values.is_empty() {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "no values"));
+    }
+    Ok(Dataset {
+        name,
+        family,
+        values,
+    })
+}
+
+/// Write arbitrary CSV rows (header + rows of stringified cells) to a
+/// writer. Cells containing commas are not expected and will panic in
+/// debug builds.
+pub fn write_csv<W: Write>(
+    w: &mut W,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> io::Result<()> {
+    writeln!(w, "{}", header.join(","))?;
+    for row in rows {
+        debug_assert!(row.iter().all(|c| !c.contains(',')), "comma in CSV cell");
+        writeln!(w, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    #[test]
+    fn dataset_csv_roundtrip() {
+        let d = catalog::by_name("unimodal64").unwrap();
+        let csv = dataset_to_csv(&d);
+        let back = dataset_from_csv(csv.as_bytes()).unwrap();
+        assert_eq!(back.name, d.name);
+        assert_eq!(back.family, d.family);
+        assert_eq!(back.values.len(), d.values.len());
+        for (a, b) in back.values.iter().zip(d.values.iter()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn from_csv_rejects_garbage() {
+        assert!(dataset_from_csv("".as_bytes()).is_err());
+        assert!(dataset_from_csv("index,value\n0,notanumber\n".as_bytes()).is_err());
+        assert!(dataset_from_csv("# family=klingon\n0,0.5\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn write_csv_formats_rows() {
+        let mut buf = Vec::new();
+        write_csv(
+            &mut buf,
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        )
+        .unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), "a,b\n1,2\n3,4\n");
+    }
+}

@@ -1,0 +1,31 @@
+//! # mwu-datasets
+//!
+//! The dataset catalog of the paper's §IV-A: each algorithm is evaluated on
+//! four distribution families —
+//!
+//! * **random** — `k` option values sampled iid from the unit interval,
+//!   `k ∈ {64, 256, 1024, 4096, 16384}`. "The larger the instance, the
+//!   harder it is for the algorithm to converge, and it is likelier that
+//!   multiple options have similar values."
+//! * **unimodal** — `v(x) = a·x·e^(−bx) + c` with `a, b, c` drawn uniformly
+//!   at random (b rescaled so the mode lands inside the support), same five
+//!   sizes. Chosen "for generality because we have strong evidence that
+//!   most bug repair scenarios are unimodal."
+//! * **C** — five scenarios derived from the ManyBugs/`units` simulated
+//!   substrate (`apr-sim`), option counts 1000 / 5000 / 2000 / 100 / 50.
+//! * **Java** — five Defects4J-shaped scenarios, all with 100 options but
+//!   different value distributions.
+//!
+//! [`catalog::full_catalog`] returns all twenty datasets in the paper's
+//! table order; [`Dataset::bandit`] turns any of them into the Bernoulli
+//! bandit environment the experiments run against.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod catalog;
+pub mod io;
+pub mod random;
+pub mod unimodal;
+
+pub use catalog::{full_catalog, Dataset, Family};

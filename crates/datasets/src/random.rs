@@ -1,0 +1,72 @@
+//! The `random` dataset family: iid uniform option values.
+
+use mwu_core::rng::keyed_uniform;
+
+/// The five instance sizes used in Tables II–IV.
+pub const SIZES: [usize; 5] = [64, 256, 1024, 4096, 16384];
+
+/// Generate `k` option values sampled independently and uniformly from the
+/// unit interval, deterministically from `seed`.
+pub fn generate(k: usize, seed: u64) -> Vec<f64> {
+    assert!(k > 0);
+    // Values are keyed per (seed, index): the five instance sizes share a
+    // common prefix, which couples the instances but leaves each one an
+    // iid-uniform draw — the property every experiment depends on.
+    (0..k as u64)
+        .map(|i| keyed_uniform(&[seed, 0x7A2D_0001, i]))
+        .collect()
+}
+
+/// Name used in the paper's tables for size `k` ("random64", ...).
+pub fn name(k: usize) -> String {
+    format!("random{k}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_in_unit_interval() {
+        let v = generate(4096, 1);
+        assert_eq!(v.len(), 4096);
+        assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(generate(64, 5), generate(64, 5));
+        assert_ne!(generate(64, 5), generate(64, 6));
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let v = generate(20_000, 3);
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+        let below_quarter = v.iter().filter(|&&x| x < 0.25).count() as f64 / v.len() as f64;
+        assert!((below_quarter - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn larger_instances_have_tighter_top_gaps() {
+        // The paper's hardness claim: with more options, the top two values
+        // are closer. Check expected order statistics empirically.
+        let gap = |k: usize| -> f64 {
+            let mut avg = 0.0;
+            for seed in 0..40 {
+                let mut v = generate(k, 100 + seed);
+                v.sort_by(|a, b| b.total_cmp(a));
+                avg += v[0] - v[1];
+            }
+            avg / 40.0
+        };
+        assert!(gap(64) > gap(4096));
+    }
+
+    #[test]
+    fn names_match_tables() {
+        assert_eq!(name(64), "random64");
+        assert_eq!(name(16384), "random16384");
+    }
+}

@@ -1,0 +1,119 @@
+//! §III-C amortization — the economics of the precomputed pool.
+//!
+//! The paper's argument for precomputation: the pool is "a one-time cost
+//! that is easily run in parallel and can be amortized over the cost of
+//! repairing multiple bugs in a given program." This experiment repairs a
+//! sequence of sibling bugs in the same program two ways:
+//!
+//! * **amortized** — build the pool once, reuse it for every bug;
+//! * **per-bug** — rebuild the pool for each bug (the cost structure of
+//!   generating mutations inside each repair run).
+//!
+//! and reports cumulative fitness evaluations and latency per bug count.
+
+use apr_sim::{BugScenario, CostLedger};
+use mwrepair::{repair_with_variant, MwRepairConfig, VariantChoice};
+use mwu_experiments::{render_table, write_results_csv, CommonArgs};
+
+fn main() {
+    let args = CommonArgs::from_env();
+    let base = BugScenario::by_name("units").expect("catalog scenario");
+    let n_bugs = 8usize;
+    let bugs: Vec<BugScenario> = (0..n_bugs as u64).map(|i| base.sibling_bug(i)).collect();
+
+    println!(
+        "§III-C amortization — {} sibling bugs in {} (pool target {})\n",
+        n_bugs, base.name, base.pool_size
+    );
+
+    // Amortized: one pool, many bugs.
+    let amortized = CostLedger::new();
+    let pool = base.build_pool(args.seed, Some(&amortized));
+    let mut amortized_cum = Vec::new();
+    let mut repaired_amortized = 0;
+    for (i, bug) in bugs.iter().enumerate() {
+        let out = repair_with_variant(
+            bug,
+            &pool,
+            VariantChoice::Standard,
+            &MwRepairConfig::seeded(mwu_core::rng::mix(&[args.seed, 1, i as u64])),
+            Some(&amortized),
+        )
+        .expect("tractable");
+        if out.is_repaired() {
+            repaired_amortized += 1;
+        }
+        amortized_cum.push((amortized.fitness_evals(), amortized.critical_path_ms()));
+    }
+
+    // Per-bug: rebuild the pool every time.
+    let per_bug = CostLedger::new();
+    let mut per_bug_cum = Vec::new();
+    let mut repaired_per_bug = 0;
+    for (i, bug) in bugs.iter().enumerate() {
+        let fresh_pool = bug.build_pool(args.seed ^ (i as u64 + 1), Some(&per_bug));
+        let out = repair_with_variant(
+            bug,
+            &fresh_pool,
+            VariantChoice::Standard,
+            &MwRepairConfig::seeded(mwu_core::rng::mix(&[args.seed, 2, i as u64])),
+            Some(&per_bug),
+        )
+        .expect("tractable");
+        if out.is_repaired() {
+            repaired_per_bug += 1;
+        }
+        per_bug_cum.push((per_bug.fitness_evals(), per_bug.critical_path_ms()));
+    }
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for i in 0..n_bugs {
+        let (ae, al) = amortized_cum[i];
+        let (pe, pl) = per_bug_cum[i];
+        rows.push(vec![
+            (i + 1).to_string(),
+            ae.to_string(),
+            pe.to_string(),
+            format!("{:.2}", pe as f64 / ae.max(1) as f64),
+            al.to_string(),
+            pl.to_string(),
+        ]);
+        csv.push(vec![
+            (i + 1).to_string(),
+            ae.to_string(),
+            pe.to_string(),
+            al.to_string(),
+            pl.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "bugs repaired",
+                "cum evals (amortized)",
+                "cum evals (per-bug)",
+                "ratio",
+                "cum latency (amortized)",
+                "cum latency (per-bug)",
+            ],
+            &rows
+        )
+    );
+    println!(
+        "\nrepairs: amortized {repaired_amortized}/{n_bugs}, per-bug {repaired_per_bug}/{n_bugs}"
+    );
+    println!("reading: the amortized curve pays the pool once and then grows only by");
+    println!("online probes; the per-bug curve re-pays the dominant precompute cost");
+    println!("for every bug — the gap widens linearly in the number of bugs.");
+
+    let path = write_results_csv(
+        &args.out_dir,
+        "amortization.csv",
+        &["bugs", "amortized_evals", "per_bug_evals", "amortized_latency", "per_bug_latency"],
+        &csv,
+    )
+    .expect("write amortization.csv");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,103 @@
+//! Policy-regret curves for every algorithm (the quantity behind Table I's
+//! convergence column: "convergence of Slate is presented in terms of
+//! regret", §II-C).
+//!
+//! Runs each algorithm for a fixed horizon on one random and one unimodal
+//! instance and reports the per-cycle policy regret at checkpoints plus
+//! the converged (tail) regret level.
+
+use mwu_core::alternatives::{EpsilonGreedy, Exp3, HedgeConfig, HedgeMwu, Ucb1};
+use mwu_core::prelude::*;
+use mwu_core::regret::{run_with_regret, RegretCurve};
+use mwu_core::run::RunConfig;
+use mwu_experiments::{render_table, write_results_csv, CommonArgs};
+use mwu_datasets::catalog;
+
+fn main() {
+    let args = CommonArgs::from_env();
+    let horizon = 2_000usize;
+    let checkpoints = [1usize, 10, 50, 200, 1000, 1999];
+    let datasets = [
+        catalog::by_name("random256").unwrap(),
+        catalog::by_name("unimodal256").unwrap(),
+    ];
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for d in &datasets {
+        let k = d.size();
+        for name in ["standard", "hedge", "slate", "exp3", "distributed", "epsilon-greedy", "ucb1"] {
+            let cfg = RunConfig {
+                max_iterations: horizon,
+                seed: mwu_core::rng::mix(&[args.seed, k as u64]),
+                run_past_convergence: true,
+            };
+            let mut bandit = d.bandit();
+            let curve: RegretCurve = match name {
+                "standard" => {
+                    let mut a = StandardMwu::new(k, StandardConfig::default());
+                    run_with_regret(&mut a, &mut bandit, &cfg)
+                }
+                "hedge" => {
+                    let mut a = HedgeMwu::new(k, HedgeConfig::default());
+                    run_with_regret(&mut a, &mut bandit, &cfg)
+                }
+                "slate" => {
+                    let mut a = SlateMwu::new(k, SlateConfig::default());
+                    run_with_regret(&mut a, &mut bandit, &cfg)
+                }
+                "distributed" => {
+                    let mut a =
+                        DistributedMwu::try_new(k, DistributedConfig::default()).unwrap();
+                    run_with_regret(&mut a, &mut bandit, &cfg)
+                }
+                "exp3" => {
+                    let mut a = Exp3::new(k, 0.05);
+                    run_with_regret(&mut a, &mut bandit, &cfg)
+                }
+                "epsilon-greedy" => {
+                    let mut a = EpsilonGreedy::new(k, 0.05);
+                    run_with_regret(&mut a, &mut bandit, &cfg)
+                }
+                _ => {
+                    let mut a = Ucb1::new(k);
+                    run_with_regret(&mut a, &mut bandit, &cfg)
+                }
+            };
+            let mut row = vec![d.name.clone(), name.to_string()];
+            for &cp in &checkpoints {
+                row.push(format!("{:.3}", curve.per_cycle[cp.min(horizon - 1)]));
+            }
+            row.push(format!("{:.4}", curve.tail_mean()));
+            rows.push(row);
+            for (cycle, r) in curve.per_cycle.iter().enumerate().step_by(25) {
+                csv.push(vec![
+                    d.name.clone(),
+                    name.to_string(),
+                    cycle.to_string(),
+                    format!("{:.6}", r),
+                ]);
+            }
+        }
+    }
+
+    println!("policy regret Σ pᵢ(v*−vᵢ) at update-cycle checkpoints (horizon {horizon})\n");
+    let header = [
+        "dataset", "algorithm", "t=1", "t=10", "t=50", "t=200", "t=1000", "t=1999", "tail mean",
+    ];
+    println!("{}", render_table(&header, &rows));
+    println!("reading: all learners start at the uniform policy's regret and drive");
+    println!("it toward zero; the full-information updates (standard/hedge) descend");
+    println!("fastest per cycle, slate pays for partial information, distributed's");
+    println!("floor reflects its μ exploration, and the sequential strategies'");
+    println!("curves cost one probe per cycle rather than a parallel batch.");
+
+    let path = write_results_csv(
+        &args.out_dir,
+        "regret_curves.csv",
+        &["dataset", "algorithm", "cycle", "policy_regret"],
+        &csv,
+    )
+    .expect("write regret_curves.csv");
+    eprintln!("wrote {}", path.display());
+}

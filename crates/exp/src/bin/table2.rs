@@ -1,0 +1,82 @@
+//! Table II — update cycles until convergence: mean (std) over replicates
+//! of each algorithm on each of the twenty catalog datasets.
+
+use mwu_core::Variant;
+use mwu_datasets::full_catalog;
+use mwu_experiments::{render_table, run_grid, write_results_csv, CommonArgs, GridConfig};
+
+fn main() {
+    let args = CommonArgs::from_env();
+    let datasets: Vec<_> = full_catalog()
+        .into_iter()
+        .filter(|d| args.selects(&d.name))
+        .collect();
+    let config = GridConfig {
+        replicates: args.replicates,
+        max_iterations: 10_000,
+        seed: args.seed,
+    };
+    eprintln!(
+        "Table II grid: {} datasets x 3 algorithms x {} replicates",
+        datasets.len(),
+        config.replicates
+    );
+    let cells = run_grid(&datasets, &config);
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for d in &datasets {
+        let mut row = vec![d.name.clone(), d.size().to_string()];
+        for &alg in &[Variant::Standard, Variant::Distributed, Variant::Slate] {
+            let c = cells
+                .iter()
+                .find(|c| c.dataset == d.name && c.algorithm == alg)
+                .expect("cell present");
+            let cell_text = if c.intractable {
+                "—".to_string()
+            } else if c.converged == 0 {
+                "≥ 10000".to_string()
+            } else {
+                c.iterations.cell(1)
+            };
+            row.push(cell_text.clone());
+            csv.push(vec![
+                d.name.clone(),
+                d.size().to_string(),
+                alg.to_string(),
+                if c.intractable {
+                    "intractable".into()
+                } else {
+                    format!("{:.2}", c.iterations.mean)
+                },
+                format!("{:.2}", c.iterations.std_dev),
+                format!("{}", c.converged),
+                format!("{}", c.replicates),
+            ]);
+        }
+        rows.push(row);
+    }
+
+    println!(
+        "Table II — update cycles until convergence (mean (std), {} replicates)\n",
+        config.replicates
+    );
+    println!(
+        "{}",
+        render_table(
+            &["scenario", "size", "Standard", "Distributed", "Slate"],
+            &rows
+        )
+    );
+    println!("— : intractable (population exceeds the agent cap)");
+    println!("≥ 10000 : no replicate converged within the iteration budget");
+
+    let path = write_results_csv(
+        &args.out_dir,
+        "table2.csv",
+        &["scenario", "size", "algorithm", "iterations_mean", "iterations_std", "converged", "replicates"],
+        &csv,
+    )
+    .expect("write table2.csv");
+    eprintln!("wrote {}", path.display());
+}

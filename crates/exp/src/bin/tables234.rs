@@ -1,0 +1,158 @@
+//! Tables II + III + IV in a single grid pass.
+//!
+//! The three tables aggregate the *same* 3 × 20 × replicates experiment
+//! grid (§IV-B: "Table II and Table III report the mean and standard
+//! deviation of these experiments"); running them separately would triple
+//! the compute. This binary executes the grid once and emits all three
+//! tables and their CSVs. The individual `table2` / `table3` / `table4`
+//! binaries remain available for regenerating one table (e.g. with
+//! `--only`).
+
+use mwu_core::Variant;
+use mwu_datasets::full_catalog;
+use mwu_experiments::{render_table, run_grid, write_results_csv, CellResult, CommonArgs, GridConfig};
+
+fn cell<'a>(cells: &'a [CellResult], dataset: &str, alg: Variant) -> &'a CellResult {
+    cells
+        .iter()
+        .find(|c| c.dataset == dataset && c.algorithm == alg)
+        .expect("cell present")
+}
+
+fn main() {
+    let args = CommonArgs::from_env();
+    let datasets: Vec<_> = full_catalog()
+        .into_iter()
+        .filter(|d| args.selects(&d.name))
+        .collect();
+    let config = GridConfig {
+        replicates: args.replicates,
+        max_iterations: 10_000,
+        seed: args.seed,
+    };
+    eprintln!(
+        "grid: {} datasets x 3 algorithms x {} replicates (single pass)",
+        datasets.len(),
+        config.replicates
+    );
+    let cells = run_grid(&datasets, &config);
+    let algs = [Variant::Standard, Variant::Distributed, Variant::Slate];
+
+    // ---- Table II ----
+    let mut rows2 = Vec::new();
+    let mut csv2 = Vec::new();
+    for d in &datasets {
+        let mut row = vec![d.name.clone(), d.size().to_string()];
+        for &a in &algs {
+            let c = cell(&cells, &d.name, a);
+            row.push(if c.intractable {
+                "—".into()
+            } else if c.converged == 0 {
+                "≥ 10000".into()
+            } else {
+                c.iterations.cell(1)
+            });
+            csv2.push(vec![
+                d.name.clone(),
+                d.size().to_string(),
+                a.to_string(),
+                if c.intractable { "intractable".into() } else { format!("{:.2}", c.iterations.mean) },
+                format!("{:.2}", c.iterations.std_dev),
+                c.converged.to_string(),
+                c.replicates.to_string(),
+            ]);
+        }
+        rows2.push(row);
+    }
+    println!(
+        "Table II — update cycles until convergence (mean (std), {} replicates)\n",
+        config.replicates
+    );
+    println!(
+        "{}",
+        render_table(&["scenario", "size", "Standard", "Distributed", "Slate"], &rows2)
+    );
+
+    // ---- Table III ----
+    let mut rows3 = Vec::new();
+    let mut csv3 = Vec::new();
+    let mut min_acc = f64::INFINITY;
+    for d in &datasets {
+        let mut row = vec![d.name.clone(), d.size().to_string()];
+        for &a in &algs {
+            let c = cell(&cells, &d.name, a);
+            row.push(if c.intractable {
+                "—".into()
+            } else {
+                min_acc = min_acc.min(c.accuracy.mean);
+                c.accuracy.cell(1)
+            });
+            csv3.push(vec![
+                d.name.clone(),
+                d.size().to_string(),
+                a.to_string(),
+                if c.intractable { "intractable".into() } else { format!("{:.2}", c.accuracy.mean) },
+                format!("{:.2}", c.accuracy.std_dev),
+            ]);
+        }
+        rows3.push(row);
+    }
+    println!(
+        "\nTable III — accuracy, % of best-in-hindsight (mean (std), {} replicates)\n",
+        config.replicates
+    );
+    println!(
+        "{}",
+        render_table(&["scenario", "size", "Standard", "Distributed", "Slate"], &rows3)
+    );
+    println!("shape check: minimum cell mean accuracy = {min_acc:.1}%  (paper: ≥ 90%)");
+
+    // ---- Table IV ----
+    let mut rows4 = Vec::new();
+    let mut csv4 = Vec::new();
+    for d in &datasets {
+        let mut row = vec![d.name.clone(), d.size().to_string()];
+        for &a in &algs {
+            let c = cell(&cells, &d.name, a);
+            row.push(if c.intractable {
+                "—".into()
+            } else {
+                format!("{:.0}", c.cpu_iterations.mean)
+            });
+            csv4.push(vec![
+                d.name.clone(),
+                d.size().to_string(),
+                a.to_string(),
+                if c.intractable { "intractable".into() } else { format!("{:.0}", c.cpu_iterations.mean) },
+                format!("{:.0}", c.cpu_iterations.std_dev),
+            ]);
+        }
+        rows4.push(row);
+    }
+    println!("\nTable IV — cost in CPU-iterations (mean over {} replicates)\n", config.replicates);
+    println!(
+        "{}",
+        render_table(&["scenario", "size", "Standard", "Distributed", "Slate"], &rows4)
+    );
+
+    for (name, header, rows) in [
+        (
+            "table2.csv",
+            vec!["scenario", "size", "algorithm", "iterations_mean", "iterations_std", "converged", "replicates"],
+            csv2,
+        ),
+        (
+            "table3.csv",
+            vec!["scenario", "size", "algorithm", "accuracy_mean", "accuracy_std"],
+            csv3,
+        ),
+        (
+            "table4.csv",
+            vec!["scenario", "size", "algorithm", "cpu_iterations_mean", "cpu_iterations_std"],
+            csv4,
+        ),
+    ] {
+        let path = write_results_csv(&args.out_dir, name, &header, &rows).expect("write csv");
+        eprintln!("wrote {}", path.display());
+    }
+}

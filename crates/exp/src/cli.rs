@@ -1,0 +1,154 @@
+//! Minimal hand-rolled CLI argument parsing shared by the experiment
+//! binaries (no external CLI dependency).
+
+use std::path::PathBuf;
+
+/// Flags every experiment binary accepts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommonArgs {
+    /// Replicates per cell (`--replicates N`, paper default 100).
+    pub replicates: usize,
+    /// Base seed (`--seed S`).
+    pub seed: u64,
+    /// Output directory for CSVs (`--out DIR`, default `results/`).
+    pub out_dir: PathBuf,
+    /// `--fast`: shrink replicates to 25 for a quick single-core pass.
+    pub fast: bool,
+    /// Restrict to datasets whose name contains this substring
+    /// (`--only SUBSTR`).
+    pub only: Option<String>,
+}
+
+impl Default for CommonArgs {
+    fn default() -> Self {
+        Self {
+            replicates: 100,
+            seed: 0xEED5,
+            out_dir: PathBuf::from("results"),
+            fast: false,
+            only: None,
+        }
+    }
+}
+
+impl CommonArgs {
+    /// Parse from an iterator of arguments (excluding the program name).
+    ///
+    /// Unknown flags produce an error string listing valid flags, so every
+    /// binary fails loudly rather than silently ignoring a typo.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut out = Self::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--replicates" => {
+                    let v = it.next().ok_or("--replicates needs a value")?;
+                    out.replicates = v
+                        .parse()
+                        .map_err(|e| format!("--replicates {v:?}: {e}"))?;
+                    if out.replicates == 0 {
+                        return Err("--replicates must be positive".into());
+                    }
+                }
+                "--seed" => {
+                    let v = it.next().ok_or("--seed needs a value")?;
+                    out.seed = v.parse().map_err(|e| format!("--seed {v:?}: {e}"))?;
+                }
+                "--out" => {
+                    let v = it.next().ok_or("--out needs a value")?;
+                    out.out_dir = PathBuf::from(v);
+                }
+                "--fast" => {
+                    out.fast = true;
+                }
+                "--only" => {
+                    let v = it.next().ok_or("--only needs a value")?;
+                    out.only = Some(v);
+                }
+                "--help" | "-h" => {
+                    return Err(
+                        "flags: --replicates N | --seed S | --out DIR | --fast | --only SUBSTR"
+                            .into(),
+                    )
+                }
+                other => return Err(format!("unknown flag {other:?} (try --help)")),
+            }
+        }
+        if out.fast {
+            out.replicates = out.replicates.min(25);
+        }
+        Ok(out)
+    }
+
+    /// Parse from the process environment, exiting with a message on error.
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Should dataset `name` run under the `--only` filter?
+    pub fn selects(&self, name: &str) -> bool {
+        match &self.only {
+            Some(s) => name.contains(s.as_str()),
+            None => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(args: &[&str]) -> Result<CommonArgs, String> {
+        CommonArgs::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = p(&[]).unwrap();
+        assert_eq!(a.replicates, 100);
+        assert!(a.selects("anything"));
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let a = p(&[
+            "--replicates",
+            "10",
+            "--seed",
+            "7",
+            "--out",
+            "/tmp/r",
+            "--only",
+            "random",
+        ])
+        .unwrap();
+        assert_eq!(a.replicates, 10);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.out_dir, PathBuf::from("/tmp/r"));
+        assert!(a.selects("random64"));
+        assert!(!a.selects("Chart26"));
+    }
+
+    #[test]
+    fn fast_caps_replicates() {
+        let a = p(&["--fast"]).unwrap();
+        assert_eq!(a.replicates, 25);
+        let b = p(&["--replicates", "10", "--fast"]).unwrap();
+        assert_eq!(b.replicates, 10);
+    }
+
+    #[test]
+    fn rejects_unknown_and_invalid() {
+        assert!(p(&["--frobnicate"]).is_err());
+        assert!(p(&["--replicates"]).is_err());
+        assert!(p(&["--replicates", "zero"]).is_err());
+        assert!(p(&["--replicates", "0"]).is_err());
+        assert!(p(&["--help"]).is_err());
+    }
+}

@@ -1,0 +1,232 @@
+//! The (algorithm × dataset × replicate) experiment grid behind
+//! Tables II, III and IV.
+
+use mwu_core::stats::{RunningStats, Summary};
+use mwu_core::{
+    run_to_convergence, DistributedConfig, DistributedMwu, RunConfig,
+    SlateConfig, SlateMwu, StandardConfig, StandardMwu, Variant,
+};
+use mwu_datasets::Dataset;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Grid configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GridConfig {
+    /// Replicates per (algorithm, dataset) cell (paper: 100).
+    pub replicates: usize,
+    /// Update-cycle limit per run (paper: 10,000).
+    pub max_iterations: usize,
+    /// Base seed; replicate `r` of dataset `d` under algorithm `a` derives
+    /// its own stream from (seed, a, d, r).
+    pub seed: u64,
+}
+
+impl Default for GridConfig {
+    fn default() -> Self {
+        Self {
+            replicates: 100,
+            max_iterations: 10_000,
+            seed: 0xEED5,
+        }
+    }
+}
+
+/// Aggregated results of one (algorithm, dataset) cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellResult {
+    /// Algorithm variant.
+    pub algorithm: Variant,
+    /// Dataset name.
+    pub dataset: String,
+    /// Instance size `k`.
+    pub size: usize,
+    /// `true` when the variant cannot run at this size (Distributed beyond
+    /// its population cap) — rendered as `—` like the paper's tables.
+    pub intractable: bool,
+    /// Update cycles until convergence (non-converged runs contribute the
+    /// iteration cap, mirroring the paper's "≥ 10000" entries).
+    pub iterations: Summary,
+    /// Table III accuracy (percent).
+    pub accuracy: Summary,
+    /// Table IV CPU-iterations (iterations × CPUs per iteration).
+    pub cpu_iterations: Summary,
+    /// Replicates that converged within the cap.
+    pub converged: u64,
+    /// Replicates executed.
+    pub replicates: u64,
+    /// Mean over replicates of each run's peak single-round congestion.
+    pub peak_congestion: Summary,
+}
+
+impl CellResult {
+    fn intractable_cell(algorithm: Variant, dataset: &Dataset) -> Self {
+        let empty = RunningStats::new().summary();
+        Self {
+            algorithm,
+            dataset: dataset.name.clone(),
+            size: dataset.size(),
+            intractable: true,
+            iterations: empty,
+            accuracy: empty,
+            cpu_iterations: empty,
+            converged: 0,
+            replicates: 0,
+            peak_congestion: empty,
+        }
+    }
+}
+
+/// Run one cell: `config.replicates` independent runs of `algorithm` on
+/// `dataset`. Replicates are distributed over rayon workers; each derives a
+/// deterministic seed so results are independent of scheduling.
+pub fn run_cell(algorithm: Variant, dataset: &Dataset, config: &GridConfig) -> CellResult {
+    let k = dataset.size();
+    if algorithm == Variant::Distributed && !DistributedConfig::default().is_tractable(k) {
+        return CellResult::intractable_cell(algorithm, dataset);
+    }
+
+    struct Rep {
+        iterations: f64,
+        accuracy: f64,
+        cpu_iterations: f64,
+        converged: bool,
+        peak_congestion: f64,
+    }
+
+    let alg_tag = match algorithm {
+        Variant::Standard => 1u64,
+        Variant::Slate => 2,
+        Variant::Distributed => 3,
+    };
+    let data_tag = mwu_core::rng::mix(&[dataset.size() as u64, dataset.best_arm() as u64]);
+
+    let reps: Vec<Rep> = (0..config.replicates as u64)
+        .into_par_iter()
+        .map(|r| {
+            let run_seed = mwu_core::rng::mix(&[config.seed, alg_tag, data_tag, r]);
+            let mut bandit = dataset.bandit();
+            let run_cfg = RunConfig {
+                max_iterations: config.max_iterations,
+                seed: run_seed,
+                run_past_convergence: false,
+            };
+            let outcome = match algorithm {
+                Variant::Standard => {
+                    let mut alg = StandardMwu::new(k, StandardConfig::default());
+                    run_to_convergence(&mut alg, &mut bandit, &run_cfg)
+                }
+                Variant::Slate => {
+                    let mut alg = SlateMwu::new(k, SlateConfig::default());
+                    run_to_convergence(&mut alg, &mut bandit, &run_cfg)
+                }
+                Variant::Distributed => {
+                    let mut alg = DistributedMwu::try_new(k, DistributedConfig::default())
+                        .expect("tractability pre-checked");
+                    run_to_convergence(&mut alg, &mut bandit, &run_cfg)
+                }
+            };
+            Rep {
+                iterations: outcome.iterations as f64,
+                accuracy: dataset.accuracy_of(outcome.leader),
+                cpu_iterations: outcome.cpu_iterations as f64,
+                converged: outcome.converged,
+                peak_congestion: outcome.comm.peak_congestion as f64,
+            }
+        })
+        .collect();
+
+    let mut iterations = RunningStats::new();
+    let mut accuracy = RunningStats::new();
+    let mut cpu_iterations = RunningStats::new();
+    let mut peak_congestion = RunningStats::new();
+    let mut converged = 0u64;
+    for rep in &reps {
+        iterations.push(rep.iterations);
+        accuracy.push(rep.accuracy);
+        cpu_iterations.push(rep.cpu_iterations);
+        peak_congestion.push(rep.peak_congestion);
+        if rep.converged {
+            converged += 1;
+        }
+    }
+
+    CellResult {
+        algorithm,
+        dataset: dataset.name.clone(),
+        size: k,
+        intractable: false,
+        iterations: iterations.summary(),
+        accuracy: accuracy.summary(),
+        cpu_iterations: cpu_iterations.summary(),
+        converged,
+        replicates: config.replicates as u64,
+        peak_congestion: peak_congestion.summary(),
+    }
+}
+
+/// Run the full grid: every algorithm on every dataset, in the paper's
+/// column order (Standard, Distributed, Slate).
+pub fn run_grid(datasets: &[Dataset], config: &GridConfig) -> Vec<CellResult> {
+    let mut out = Vec::with_capacity(datasets.len() * 3);
+    for dataset in datasets {
+        for &alg in &[Variant::Standard, Variant::Distributed, Variant::Slate] {
+            eprintln!(
+                "  running {} on {} ({} reps)...",
+                alg,
+                dataset.name,
+                config.replicates
+            );
+            out.push(run_cell(alg, dataset, config));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwu_datasets::catalog;
+
+    fn tiny_config() -> GridConfig {
+        GridConfig {
+            replicates: 5,
+            max_iterations: 3_000,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn standard_cell_on_random64() {
+        let d = catalog::by_name("random64").unwrap();
+        let c = run_cell(Variant::Standard, &d, &tiny_config());
+        assert!(!c.intractable);
+        assert_eq!(c.replicates, 5);
+        assert!(c.accuracy.mean > 80.0, "accuracy {}", c.accuracy.mean);
+        assert!(c.iterations.mean >= 1.0);
+        // CPU-iterations = iterations × k for Standard.
+        assert!(
+            (c.cpu_iterations.mean - c.iterations.mean * 64.0).abs() < 1e-6,
+            "cpu {} vs iter {}",
+            c.cpu_iterations.mean,
+            c.iterations.mean
+        );
+    }
+
+    #[test]
+    fn distributed_intractable_at_16384() {
+        let d = catalog::by_name("random16384").unwrap();
+        let c = run_cell(Variant::Distributed, &d, &tiny_config());
+        assert!(c.intractable);
+        assert_eq!(c.replicates, 0);
+    }
+
+    #[test]
+    fn cells_are_reproducible() {
+        let d = catalog::by_name("random64").unwrap();
+        let a = run_cell(Variant::Slate, &d, &tiny_config());
+        let b = run_cell(Variant::Slate, &d, &tiny_config());
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.accuracy, b.accuracy);
+    }
+}

@@ -1,0 +1,33 @@
+//! # mwu-experiments
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper. One binary per artifact:
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `table1` | Table I — asymptotic complexity, evaluated at concrete (k, n, ε, δ) |
+//! | `fig4a` | Fig. 4a — fraction passing vs. #applied safe mutations (plus untested-mutation comparison) |
+//! | `fig4b` | Fig. 4b — repair density vs. #combined mutations |
+//! | `table2` | Table II — update cycles until convergence (mean ± std over replicates) |
+//! | `table3` | Table III — accuracy (% of best-in-hindsight value) |
+//! | `table4` | Table IV — CPU-iteration cost |
+//! | `cost_model` | §IV-E — weighted decision model and recommendations |
+//! | `congestion` | §II-C — Distributed congestion vs. balls-into-bins theory |
+//! | `sync_stall` | §III-C — synchronization-stall motivation for precomputation |
+//! | `repair_comparison` | §IV-G — MWRepair vs. GenProg / RSRepair / AE |
+//!
+//! Every binary prints the paper-shaped table to stdout and writes CSV into
+//! `results/`. Common flags: `--replicates N` (default 100, the paper's
+//! count), `--seed S`, `--out DIR`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cli;
+pub mod grid;
+pub mod social;
+pub mod tables;
+
+pub use cli::CommonArgs;
+pub use grid::{run_cell, run_grid, CellResult, GridConfig};
+pub use tables::{render_table, write_results_csv};

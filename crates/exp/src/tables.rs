@@ -1,0 +1,113 @@
+//! ASCII table rendering and CSV output for the experiment binaries.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Render an aligned ASCII table: header row plus data rows. Columns are
+/// padded to the widest cell; numeric-looking cells are right-aligned.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let n_cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), n_cols, "row width mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let numericish = |s: &str| {
+        !s.is_empty()
+            && s.chars()
+                .all(|c| c.is_ascii_digit() || "().-—≥% ".contains(c))
+    };
+
+    let mut out = String::new();
+    let sep: String = widths
+        .iter()
+        .map(|w| "-".repeat(w + 2))
+        .collect::<Vec<_>>()
+        .join("+");
+    // Header.
+    for (i, h) in header.iter().enumerate() {
+        out.push_str(&format!(" {:<w$} ", h, w = widths[i]));
+        if i + 1 < n_cols {
+            out.push('|');
+        }
+    }
+    out.push('\n');
+    out.push_str(&sep);
+    out.push('\n');
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if numericish(cell) {
+                out.push_str(&format!(" {:>w$} ", cell, w = widths[i]));
+            } else {
+                out.push_str(&format!(" {:<w$} ", cell, w = widths[i]));
+            }
+            if i + 1 < n_cols {
+                out.push('|');
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Write a CSV file into `out_dir`, creating the directory if needed.
+pub fn write_results_csv(
+    out_dir: &Path,
+    filename: &str,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> io::Result<std::path::PathBuf> {
+    fs::create_dir_all(out_dir)?;
+    let path = out_dir.join(filename);
+    let mut buf = Vec::new();
+    mwu_datasets::io::write_csv(&mut buf, header, rows)?;
+    fs::write(&path, buf)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let t = render_table(
+            &["name", "value"],
+            &[
+                vec!["alpha".into(), "1.0 (0.1)".into()],
+                vec!["b".into(), "22.5 (3.0)".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines same display width.
+        let w = lines[0].len();
+        assert!(lines.iter().skip(2).all(|l| l.len() == w), "{t}");
+        // Numeric cells right-aligned.
+        assert!(lines[2].ends_with(" 1.0 (0.1) "));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_rows_panic() {
+        let _ = render_table(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+
+    #[test]
+    fn csv_written_to_disk() {
+        let dir = std::env::temp_dir().join("mwu_exp_test_csv");
+        let p = write_results_csv(
+            &dir,
+            "t.csv",
+            &["x"],
+            &[vec!["1".into()], vec!["2".into()]],
+        )
+        .unwrap();
+        let content = std::fs::read_to_string(&p).unwrap();
+        assert_eq!(content, "x\n1\n2\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,420 @@
+//! The MWRepair online phase (paper Fig. 6).
+//!
+//! Per update cycle:
+//!
+//! 1. `MWU_Sample` — the MWU algorithm plans which arm (composition size
+//!    `x`) each parallel agent probes ([`mwu_core::MwuAlgorithm::plan`]).
+//! 2. **Parallel evaluation** — each agent samples `x` distinct pool
+//!    mutations, applies them, and runs the suite (rayon; deterministic
+//!    per-(iteration, agent) RNG streams so parallel scheduling cannot
+//!    change results). If a probe reaches maximum fitness, the repaired
+//!    program is returned immediately (Fig. 6 line 8, "Terminate Early").
+//! 3. `MWU_Update` — observed rewards update the weights.
+//!
+//! ## Reward definition
+//!
+//! Fig. 6 line 9 scores a probe `1` when `f(P') ≥ f(P)` (fitness retained).
+//! Used raw, that reward is monotone-decreasing in `x` and drives every
+//! bandit to `x = 1`; the paper instead biases the search toward the
+//! *repair-density* optimum using "the density of safe mutations, which the
+//! search does sample, as a proxy" (§III-B). [`RewardMode::DensityProxy`]
+//! implements that proxy — reward `x/x_max` on retained fitness, `0`
+//! otherwise, whose expectation `∝ x·survival(x)` is the unimodal density
+//! curve of Fig. 4b. [`RewardMode::FitnessRetained`] is the literal Fig. 6
+//! rule, kept for ablation.
+
+use crate::report::{RepairOutcome, RepairReport};
+use apr_sim::{BugScenario, CostLedger, Mutation, MutationPool};
+use mwu_core::rng::mix;
+use mwu_core::{
+    DistributedConfig, DistributedMwu, MwuAlgorithm, SlateConfig, SlateMwu, StandardConfig,
+    StandardMwu,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// How probe outcomes map to bandit rewards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RewardMode {
+    /// Literal Fig. 6: reward 1 iff the probe retained fitness.
+    FitnessRetained,
+    /// Repair-density proxy (§III-B): reward `x/x_max` iff the probe
+    /// retained fitness. Default.
+    DensityProxy,
+}
+
+/// Configuration for one MWRepair online run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MwRepairConfig {
+    /// Update-cycle limit `T` (Fig. 6). Paper experiments use 10,000; end-
+    /// to-end repair runs usually terminate long before.
+    pub max_iterations: usize,
+    /// RNG seed for the run.
+    pub seed: u64,
+    /// Reward mapping.
+    pub reward: RewardMode,
+    /// Largest composition size to expose as an arm. The bandit's arms are
+    /// x ∈ 1..=min(pool, max_composition): exposing every pool size as an
+    /// arm wastes probes on compositions far beyond the interaction scale
+    /// (survival is essentially 0 past a few hundred mutations — Fig. 4a's
+    /// x-axis stops at 100). Default 512, comfortably above every
+    /// repair-density optimum the paper reports (11–271).
+    pub max_composition: usize,
+}
+
+impl MwRepairConfig {
+    /// Defaults with an explicit seed.
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            max_iterations: 10_000,
+            seed,
+            reward: RewardMode::DensityProxy,
+            max_composition: 512,
+        }
+    }
+}
+
+/// Number of bandit arms the online phase uses for a pool of `pool_len`
+/// mutations under `config`.
+pub fn effective_arms(pool_len: usize, config: &MwRepairConfig) -> usize {
+    pool_len.min(config.max_composition.max(1))
+}
+
+impl Default for MwRepairConfig {
+    fn default() -> Self {
+        Self::seeded(0)
+    }
+}
+
+/// Run the MWRepair online phase with a caller-supplied MWU algorithm.
+///
+/// The algorithm must have been constructed over `pool.len()` arms (arm
+/// index `i` = compose `i + 1` mutations). A `ledger` may be shared with
+/// the precompute phase to account total cost.
+pub fn repair<A: MwuAlgorithm>(
+    scenario: &BugScenario,
+    pool: &MutationPool,
+    alg: &mut A,
+    config: &MwRepairConfig,
+) -> RepairOutcome {
+    repair_with_ledger(scenario, pool, alg, config, None)
+}
+
+/// [`repair`] with explicit cost accounting.
+pub fn repair_with_ledger<A: MwuAlgorithm>(
+    scenario: &BugScenario,
+    pool: &MutationPool,
+    alg: &mut A,
+    config: &MwRepairConfig,
+    ledger: Option<&CostLedger>,
+) -> RepairOutcome {
+    assert!(!pool.is_empty(), "online phase needs a non-empty pool");
+    let arms = effective_arms(pool.len(), config);
+    assert_eq!(
+        alg.num_arms(),
+        arms,
+        "algorithm arms must match effective_arms(pool, config) (arm i = compose i+1 mutations)"
+    );
+    let x_max = arms as f64;
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut probes_total: u64 = 0;
+    let mut found: Option<RepairReport> = None;
+    let mut iterations = 0;
+
+    'outer: for t in 0..config.max_iterations {
+        let plan = alg.plan(&mut rng);
+        iterations = t + 1;
+        probes_total += plan.len() as u64;
+
+        // Parallel evaluation (Fig. 6 lines 4–14). Each agent gets a
+        // deterministic RNG stream keyed by (run seed, iteration, agent) so
+        // the outcome is independent of rayon's scheduling.
+        struct ProbeResult {
+            reward: f64,
+            repair: Option<Vec<Mutation>>,
+            cost_ms: u64,
+            arm: usize,
+        }
+        let seed = config.seed;
+        let results: Vec<ProbeResult> = plan
+            .par_iter()
+            .enumerate()
+            .map(|(agent, &arm)| {
+                let x = arm + 1;
+                let mut agent_rng =
+                    SmallRng::seed_from_u64(mix(&[seed, t as u64, agent as u64]));
+                let comp = pool.sample_composition(x.min(pool.len()), &mut agent_rng);
+                let out = scenario.evaluate(&comp, ledger);
+                let reward = match config.reward {
+                    RewardMode::FitnessRetained => {
+                        if out.survived {
+                            1.0
+                        } else {
+                            0.0
+                        }
+                    }
+                    RewardMode::DensityProxy => {
+                        if out.survived {
+                            x as f64 / x_max
+                        } else {
+                            0.0
+                        }
+                    }
+                };
+                ProbeResult {
+                    reward,
+                    repair: if out.repaired { Some(comp) } else { None },
+                    cost_ms: out.cost_ms,
+                    arm,
+                }
+            })
+            .collect();
+
+        // The parallel phase's critical path is its slowest probe.
+        if let Some(l) = ledger {
+            let max_ms = results.iter().map(|r| r.cost_ms).max().unwrap_or(0);
+            l.record_parallel_phase(max_ms);
+        }
+
+        // Early termination: first (lowest agent index) repairing probe.
+        for (agent, r) in results.iter().enumerate() {
+            if let Some(muts) = &r.repair {
+                found = Some(RepairReport {
+                    mutations: muts.clone(),
+                    arm: r.arm + 1,
+                    iteration: t + 1,
+                    agent,
+                });
+                break 'outer;
+            }
+        }
+
+        let rewards: Vec<f64> = results.iter().map(|r| r.reward).collect();
+        alg.update(&rewards, &mut rng);
+    }
+
+    RepairOutcome {
+        repair: found,
+        iterations,
+        probes: probes_total,
+        cost: match ledger {
+            Some(l) => l.snapshot(),
+            None => apr_sim::ledger::CostSnapshot {
+                fitness_evals: probes_total,
+                simulated_ms: probes_total * scenario.suite.full_run_cost_ms(),
+                critical_path_ms: iterations as u64 * scenario.suite.full_run_cost_ms(),
+            },
+        },
+        leader_arm: alg.leader() + 1,
+        mwu_converged: alg.has_converged(),
+    }
+}
+
+/// Which MWU variant drives the online phase (convenience for binaries and
+/// examples that pick a variant by name).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VariantChoice {
+    /// Standard MWU (one agent per arm).
+    Standard,
+    /// Slate MWU (slate-sized agent team).
+    Slate,
+    /// Distributed MWU (population of agents).
+    Distributed,
+}
+
+impl VariantChoice {
+    /// Parse from a CLI-style name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "standard" => Some(VariantChoice::Standard),
+            "slate" => Some(VariantChoice::Slate),
+            "distributed" => Some(VariantChoice::Distributed),
+            _ => None,
+        }
+    }
+}
+
+/// Build the chosen variant over `k` arms with paper-default parameters and
+/// run the online phase. Returns `Err` if the variant is intractable at
+/// this size (Distributed beyond its population cap).
+pub fn repair_with_variant(
+    scenario: &BugScenario,
+    pool: &MutationPool,
+    variant: VariantChoice,
+    config: &MwRepairConfig,
+    ledger: Option<&CostLedger>,
+) -> Result<RepairOutcome, mwu_core::distributed::Intractable> {
+    let k = effective_arms(pool.len(), config);
+    Ok(match variant {
+        VariantChoice::Standard => {
+            let mut alg = StandardMwu::new(k, StandardConfig::default());
+            repair_with_ledger(scenario, pool, &mut alg, config, ledger)
+        }
+        VariantChoice::Slate => {
+            let mut alg = SlateMwu::new(k, SlateConfig::default());
+            repair_with_ledger(scenario, pool, &mut alg, config, ledger)
+        }
+        VariantChoice::Distributed => {
+            let mut alg = DistributedMwu::try_new(k, DistributedConfig::default())?;
+            repair_with_ledger(scenario, pool, &mut alg, config, ledger)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apr_sim::ScenarioKind;
+    use mwu_core::{SlateConfig, SlateMwu};
+
+    fn small_scenario() -> (BugScenario, MutationPool) {
+        let s = BugScenario::custom(
+            "driver-test",
+            ScenarioKind::Synthetic,
+            60,
+            12,
+            400,
+            15,
+            0.06,
+            21,
+        );
+        let pool = s.build_pool(1, None);
+        (s, pool)
+    }
+
+    #[test]
+    fn finds_repair_and_terminates_early() {
+        let (s, pool) = small_scenario();
+        let mut alg = SlateMwu::new(pool.len(), SlateConfig::default());
+        let out = repair(&s, &pool, &mut alg, &MwRepairConfig::seeded(3));
+        assert!(out.is_repaired(), "no repair in {} iterations", out.iterations);
+        let rep = out.repair.unwrap();
+        assert_eq!(rep.mutations.len(), rep.arm);
+        // The reported composition really does repair.
+        let verify = s.evaluate(&rep.mutations, None);
+        assert!(verify.repaired, "reported repair does not reproduce");
+        assert!(out.iterations < 10_000);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (s, pool) = small_scenario();
+        let run = |seed| {
+            let mut alg = SlateMwu::new(pool.len(), SlateConfig::default());
+            repair(&s, &pool, &mut alg, &MwRepairConfig::seeded(seed))
+        };
+        let a = run(5);
+        let b = run(5);
+        assert_eq!(a.repair, b.repair);
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.probes, b.probes);
+    }
+
+    #[test]
+    fn density_proxy_biases_leader_toward_optimum() {
+        // Run without repairs (repair_rate 0) so the bandit runs long
+        // enough to learn; the leader arm should approach the scenario's
+        // density optimum rather than x=1.
+        let s = BugScenario::custom(
+            "no-repair",
+            ScenarioKind::Synthetic,
+            80,
+            16,
+            400,
+            15,
+            0.0,
+            22,
+        );
+        let pool = s.build_pool(1, None);
+        let mut alg = SlateMwu::new(pool.len(), SlateConfig::default());
+        let cfg = MwRepairConfig {
+            max_iterations: 3000,
+            seed: 9,
+            reward: RewardMode::DensityProxy,
+            max_composition: 512,
+        };
+        let out = repair(&s, &pool, &mut alg, &cfg);
+        assert!(out.repair.is_none());
+        let opt = s.density_optimum();
+        assert!(
+            out.leader_arm >= opt / 3 && out.leader_arm <= opt * 3,
+            "leader {} vs optimum {opt}",
+            out.leader_arm
+        );
+    }
+
+    #[test]
+    fn fitness_retained_reward_drives_leader_small() {
+        let s = BugScenario::custom(
+            "ablate",
+            ScenarioKind::Synthetic,
+            80,
+            16,
+            400,
+            15,
+            0.0,
+            23,
+        );
+        let pool = s.build_pool(1, None);
+        let mut alg = SlateMwu::new(pool.len(), SlateConfig::default());
+        let cfg = MwRepairConfig {
+            max_iterations: 3000,
+            seed: 9,
+            reward: RewardMode::FitnessRetained,
+            max_composition: 512,
+        };
+        let out = repair(&s, &pool, &mut alg, &cfg);
+        // Monotone reward ⇒ small compositions dominate.
+        assert!(
+            out.leader_arm < s.density_optimum(),
+            "leader {} not below optimum {}",
+            out.leader_arm,
+            s.density_optimum()
+        );
+    }
+
+    #[test]
+    fn variant_choice_parses() {
+        assert_eq!(VariantChoice::parse("Standard"), Some(VariantChoice::Standard));
+        assert_eq!(VariantChoice::parse("slate"), Some(VariantChoice::Slate));
+        assert_eq!(
+            VariantChoice::parse("DISTRIBUTED"),
+            Some(VariantChoice::Distributed)
+        );
+        assert_eq!(VariantChoice::parse("genprog"), None);
+    }
+
+    #[test]
+    fn all_variants_can_repair_small_scenario() {
+        let (s, pool) = small_scenario();
+        for v in [
+            VariantChoice::Standard,
+            VariantChoice::Slate,
+            VariantChoice::Distributed,
+        ] {
+            let out =
+                repair_with_variant(&s, &pool, v, &MwRepairConfig::seeded(4), None).unwrap();
+            assert!(out.is_repaired(), "{v:?} failed to repair");
+        }
+    }
+
+    #[test]
+    fn ledger_accounts_probes() {
+        let (s, pool) = small_scenario();
+        let ledger = CostLedger::new();
+        let mut alg = SlateMwu::new(pool.len(), SlateConfig::default());
+        let out = repair_with_ledger(&s, &pool, &mut alg, &MwRepairConfig::seeded(3), Some(&ledger));
+        assert_eq!(ledger.fitness_evals(), out.probes);
+        assert!(ledger.critical_path_ms() <= ledger.simulated_ms());
+    }
+
+    #[test]
+    #[should_panic]
+    fn arm_mismatch_panics() {
+        let (s, pool) = small_scenario();
+        let mut alg = SlateMwu::new(pool.len() + 1, SlateConfig::default());
+        let _ = repair(&s, &pool, &mut alg, &MwRepairConfig::seeded(0));
+    }
+}

@@ -1,0 +1,210 @@
+//! Patch minimization by delta debugging (ddmin).
+//!
+//! MWRepair's early-termination patch is a composition of up to hundreds of
+//! safe mutations, of which typically only one or two matter: "in practice
+//! most multi-edit repairs are redundant and can be minimized to one or two
+//! single-statement edits" (paper §V-B, citing the GenProg experience).
+//! This module reduces a repairing composition to a **1-minimal** subset —
+//! removing any single remaining mutation breaks the repair — using
+//! Zeller's ddmin algorithm. Each candidate subset costs one test-suite
+//! run, charged to the [`CostLedger`] like any other probe.
+
+use apr_sim::{BugScenario, CostLedger, Mutation};
+use serde::{Deserialize, Serialize};
+
+/// Result of minimizing a repairing patch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MinimizedPatch {
+    /// The 1-minimal repairing subset.
+    pub mutations: Vec<Mutation>,
+    /// Size of the patch before minimization.
+    pub original_size: usize,
+    /// Fitness evaluations spent minimizing.
+    pub evals_used: u64,
+}
+
+impl MinimizedPatch {
+    /// Reduction ratio: minimized size / original size.
+    pub fn reduction(&self) -> f64 {
+        if self.original_size == 0 {
+            1.0
+        } else {
+            self.mutations.len() as f64 / self.original_size as f64
+        }
+    }
+}
+
+/// Minimize `patch` to a 1-minimal repairing subset of its mutations.
+///
+/// # Panics
+/// Panics if `patch` does not actually repair the scenario (minimization of
+/// a non-repair is meaningless; verify first).
+pub fn minimize_patch(
+    scenario: &BugScenario,
+    patch: &[Mutation],
+    ledger: Option<&CostLedger>,
+) -> MinimizedPatch {
+    let mut evals: u64 = 0;
+    let test = |muts: &[Mutation], evals: &mut u64| -> bool {
+        *evals += 1;
+        scenario.evaluate(muts, ledger).repaired
+    };
+
+    assert!(
+        test(patch, &mut evals),
+        "minimize_patch requires a repairing patch"
+    );
+
+    let original_size = patch.len();
+    let mut current: Vec<Mutation> = patch.to_vec();
+    let mut n = 2usize; // granularity
+
+    while current.len() >= 2 {
+        let chunk = current.len().div_ceil(n);
+        let mut reduced = false;
+
+        // Try each chunk alone, then each complement.
+        let mut start = 0;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            let subset: Vec<Mutation> = current[start..end].to_vec();
+            if subset.len() < current.len() && test(&subset, &mut evals) {
+                current = subset;
+                n = 2;
+                reduced = true;
+                break;
+            }
+            let complement: Vec<Mutation> = current[..start]
+                .iter()
+                .chain(current[end..].iter())
+                .copied()
+                .collect();
+            if !complement.is_empty()
+                && complement.len() < current.len()
+                && test(&complement, &mut evals)
+            {
+                current = complement;
+                n = (n - 1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+
+        if !reduced {
+            if n >= current.len() {
+                break; // 1-minimal at this granularity
+            }
+            n = (2 * n).min(current.len());
+        }
+    }
+
+    MinimizedPatch {
+        mutations: current,
+        original_size,
+        evals_used: evals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apr_sim::ScenarioKind;
+    use mwu_core::rng::rng_for;
+
+    /// Build a scenario plus a repairing patch of `extra` redundant safe
+    /// mutations around one repairer.
+    fn patch_scenario(extra: usize) -> (BugScenario, Vec<Mutation>) {
+        let s = BugScenario::custom(
+            "minimize-test",
+            ScenarioKind::Synthetic,
+            60,
+            20,
+            400,
+            15,
+            0.03,
+            77,
+        )
+        .with_pool_size(400); // enough pool mass to contain repairers
+        let pool = s.build_pool(5, None);
+        // Find a repairer in the pool.
+        let repairer = pool
+            .mutations()
+            .iter()
+            .copied()
+            .find(|m| m.is_repair(s.world.world_seed, s.world.defect_site, s.world.repair_rate))
+            .expect("pool contains a repairer");
+        // Pad with safe non-repairers that do not conflict as a whole.
+        let mut rng = rng_for(9, &[1]);
+        let mut patch;
+        loop {
+            patch = vec![repairer];
+            for m in pool.sample_composition(extra, &mut rng) {
+                if m != repairer && patch.len() < extra + 1 {
+                    patch.push(m);
+                }
+            }
+            if s.evaluate(&patch, None).repaired {
+                break;
+            }
+        }
+        (s, patch)
+    }
+
+    #[test]
+    fn minimizes_to_a_single_repairer() {
+        let (s, patch) = patch_scenario(15);
+        let min = minimize_patch(&s, &patch, None);
+        assert!(min.mutations.len() <= 2, "minimized to {}", min.mutations.len());
+        assert!(s.evaluate(&min.mutations, None).repaired);
+        assert!(min.reduction() < 0.2);
+        assert_eq!(min.original_size, patch.len());
+        assert!(min.evals_used > 0);
+    }
+
+    #[test]
+    fn minimal_result_is_1_minimal() {
+        let (s, patch) = patch_scenario(10);
+        let min = minimize_patch(&s, &patch, None);
+        // Removing any single mutation breaks the repair.
+        for skip in 0..min.mutations.len() {
+            let reduced: Vec<Mutation> = min
+                .mutations
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != skip)
+                .map(|(_, m)| *m)
+                .collect();
+            if !reduced.is_empty() {
+                assert!(
+                    !s.evaluate(&reduced, None).repaired,
+                    "dropping index {skip} still repairs — not 1-minimal"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_mutation_patch_is_already_minimal() {
+        let (s, patch) = patch_scenario(0);
+        assert_eq!(patch.len(), 1);
+        let min = minimize_patch(&s, &patch, None);
+        assert_eq!(min.mutations, patch);
+        assert_eq!(min.reduction(), 1.0);
+    }
+
+    #[test]
+    fn ledger_charged_for_minimization_probes() {
+        let (s, patch) = patch_scenario(8);
+        let ledger = CostLedger::new();
+        let min = minimize_patch(&s, &patch, Some(&ledger));
+        assert_eq!(ledger.fitness_evals(), min.evals_used);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_repairing_patch_rejected() {
+        let (s, _) = patch_scenario(2);
+        let _ = minimize_patch(&s, &[], None);
+    }
+}

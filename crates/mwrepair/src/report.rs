@@ -1,0 +1,77 @@
+//! Result types for MWRepair runs.
+
+use apr_sim::ledger::CostSnapshot;
+use apr_sim::{apply_mutations, BugScenario, Mutant, Mutation};
+use serde::{Deserialize, Serialize};
+
+/// A repair found by the online phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RepairReport {
+    /// The mutations whose composition repairs the defect.
+    pub mutations: Vec<Mutation>,
+    /// The arm played (number of mutations composed).
+    pub arm: usize,
+    /// Iteration (update cycle) at which the repair was found.
+    pub iteration: usize,
+    /// Index of the parallel agent whose probe found it.
+    pub agent: usize,
+}
+
+impl RepairReport {
+    /// Materialize the patched program text (the deliverable a human
+    /// reviews): applies the composition's structural edits to the
+    /// scenario's original program.
+    pub fn materialize(&self, scenario: &BugScenario) -> Mutant {
+        apply_mutations(&scenario.program, &self.mutations)
+    }
+}
+
+/// Everything measured about one MWRepair run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RepairOutcome {
+    /// The repair, if one was found within the budget (Fig. 6 returns
+    /// `null` otherwise).
+    pub repair: Option<RepairReport>,
+    /// Update cycles executed.
+    pub iterations: usize,
+    /// Probes (fitness evaluations) issued by the online phase.
+    pub probes: u64,
+    /// Simulated cost snapshot (includes precompute if the same ledger was
+    /// used for both phases).
+    pub cost: CostSnapshot,
+    /// The arm the bandit favored when the run ended — should approach the
+    /// scenario's repair-density optimum.
+    pub leader_arm: usize,
+    /// Did the underlying MWU algorithm meet its convergence criterion
+    /// before termination?
+    pub mwu_converged: bool,
+}
+
+impl RepairOutcome {
+    /// Convenience: was the defect repaired?
+    pub fn is_repaired(&self) -> bool {
+        self.repair.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_flags() {
+        let o = RepairOutcome {
+            repair: None,
+            iterations: 3,
+            probes: 10,
+            cost: CostSnapshot {
+                fitness_evals: 10,
+                simulated_ms: 100,
+                critical_path_ms: 10,
+            },
+            leader_arm: 5,
+            mwu_converged: false,
+        };
+        assert!(!o.is_repaired());
+    }
+}

@@ -1,0 +1,110 @@
+//! Balls-into-bins congestion analysis (paper §II-C).
+//!
+//! In Distributed MWU every agent observes one uniformly random neighbor
+//! per round, so with `n` agents the per-round communication load is a
+//! classic balls-into-bins process with `n` balls and `n` bins. The maximum
+//! load — the congestion of the heaviest-hit node — is
+//! `Θ(ln n / ln ln n)` with probability at least `1 − 1/n` (Raab &
+//! Steger), which is the Table I communication entry for Distributed.
+//!
+//! This module provides both a direct simulation (used by the `congestion`
+//! experiment binary to regenerate the bound empirically) and the
+//! closed-form leading term.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Throw `balls` balls into `bins` bins uniformly; return the maximum load.
+pub fn balls_into_bins_max(balls: usize, bins: usize, rng: &mut SmallRng) -> usize {
+    assert!(bins > 0);
+    let mut load = vec![0u32; bins];
+    for _ in 0..balls {
+        load[rng.gen_range(0..bins)] += 1;
+    }
+    load.into_iter().max().unwrap_or(0) as usize
+}
+
+/// Leading-order expected maximum load for `n` balls in `n` bins:
+/// `ln n / ln ln n`.
+pub fn expected_max_load(n: usize) -> f64 {
+    if n < 3 {
+        return n as f64;
+    }
+    let ln_n = (n as f64).ln();
+    ln_n / ln_n.ln()
+}
+
+/// Empirical mean of the maximum load over `trials` independent throws of
+/// `n` balls into `n` bins.
+pub fn mean_max_load(n: usize, trials: usize, seed: u64) -> f64 {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut sum = 0usize;
+    for _ in 0..trials {
+        sum += balls_into_bins_max(n, n, &mut rng);
+    }
+    sum as f64 / trials as f64
+}
+
+/// Fraction of `trials` in which the max load exceeded `bound`.
+/// Used to verify the "with probability ≥ 1 − 1/n" claim empirically.
+pub fn exceedance_rate(n: usize, bound: f64, trials: usize, seed: u64) -> f64 {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut exceed = 0usize;
+    for _ in 0..trials {
+        if balls_into_bins_max(n, n, &mut rng) as f64 > bound {
+            exceed += 1;
+        }
+    }
+    exceed as f64 / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_load_at_least_ceiling_of_mean() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        // n balls in n bins: max load ≥ 1 always (pigeonhole on non-empty).
+        for n in [8, 64, 512] {
+            let m = balls_into_bins_max(n, n, &mut rng);
+            assert!(m >= 1 && m <= n);
+        }
+    }
+
+    #[test]
+    fn closed_form_grows_sublogarithmically() {
+        assert!(expected_max_load(100) < expected_max_load(10_000));
+        // ln n / ln ln n is far below n.
+        assert!(expected_max_load(10_000) < 10.0);
+    }
+
+    #[test]
+    fn empirical_mean_tracks_theory_within_constant() {
+        for n in [64usize, 1024] {
+            let emp = mean_max_load(n, 200, 7);
+            let theory = expected_max_load(n);
+            // The constant in Θ(·) is known to be close to 1; allow [1, 4].
+            assert!(
+                emp > theory && emp < 4.0 * theory,
+                "n={n}: empirical {emp} vs theory {theory}"
+            );
+        }
+    }
+
+    #[test]
+    fn high_probability_bound_holds() {
+        // With bound 3·(ln n / ln ln n), exceedance should be rare.
+        let n = 1024;
+        let rate = exceedance_rate(n, 3.0 * expected_max_load(n), 300, 11);
+        assert!(rate < 0.05, "exceedance rate {rate}");
+    }
+
+    #[test]
+    fn tiny_n_is_safe() {
+        assert_eq!(expected_max_load(1), 1.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(balls_into_bins_max(1, 1, &mut rng), 1);
+        assert_eq!(balls_into_bins_max(0, 5, &mut rng), 0);
+    }
+}

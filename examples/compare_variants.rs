@@ -1,0 +1,89 @@
+//! Side-by-side comparison of the three MWU variants on one dataset,
+//! printing the quantities behind Tables II–IV for a single cell.
+//!
+//! ```text
+//! cargo run --release -p mwrepair-examples --bin compare_variants [dataset]
+//! ```
+//!
+//! `dataset` is any catalog name (default `unimodal256`); try `random1024`
+//! or `Chart26`.
+
+use mwu_core::prelude::*;
+use mwu_core::stats::RunningStats;
+use mwu_datasets::catalog;
+
+fn main() {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "unimodal256".to_string());
+    let dataset = match catalog::by_name(&name) {
+        Some(d) => d,
+        None => {
+            eprintln!("unknown dataset {name:?}; catalog:");
+            for d in mwu_datasets::full_catalog() {
+                eprintln!("  {} (k = {})", d.name, d.size());
+            }
+            std::process::exit(2);
+        }
+    };
+    let k = dataset.size();
+    println!("dataset {} — {} options, best value {:.3}\n", dataset.name, k, dataset.best_value());
+    println!(
+        "{:<12} {:>10} {:>10} {:>14} {:>12} {:>10}",
+        "variant", "iters", "accuracy%", "cpu-iters", "congestion", "converged"
+    );
+
+    let replicates = 20;
+    for variant in ["standard", "distributed", "slate"] {
+        let mut iters = RunningStats::new();
+        let mut acc = RunningStats::new();
+        let mut cpu = RunningStats::new();
+        let mut congestion = RunningStats::new();
+        let mut converged = 0;
+        let mut intractable = false;
+        for rep in 0..replicates {
+            let cfg = RunConfig::seeded(mwu_core::rng::mix(&[99, rep]));
+            let mut bandit = dataset.bandit();
+            let outcome = match variant {
+                "standard" => {
+                    let mut alg = StandardMwu::new(k, StandardConfig::default());
+                    run_to_convergence(&mut alg, &mut bandit, &cfg)
+                }
+                "slate" => {
+                    let mut alg = SlateMwu::new(k, SlateConfig::default());
+                    run_to_convergence(&mut alg, &mut bandit, &cfg)
+                }
+                _ => match DistributedMwu::try_new(k, DistributedConfig::default()) {
+                    Ok(mut alg) => run_to_convergence(&mut alg, &mut bandit, &cfg),
+                    Err(_) => {
+                        intractable = true;
+                        break;
+                    }
+                },
+            };
+            iters.push(outcome.iterations as f64);
+            acc.push(outcome.accuracy(&dataset.values));
+            cpu.push(outcome.cpu_iterations as f64);
+            congestion.push(outcome.comm.peak_congestion as f64);
+            if outcome.converged {
+                converged += 1;
+            }
+        }
+        if intractable {
+            println!("{variant:<12} {:>10}", "— intractable (population cap)");
+            continue;
+        }
+        println!(
+            "{:<12} {:>10.1} {:>10.1} {:>14.0} {:>12.1} {:>7}/{}",
+            variant,
+            iters.mean(),
+            acc.mean(),
+            cpu.mean(),
+            congestion.mean(),
+            converged,
+            replicates,
+        );
+    }
+    println!("\ncongestion = peak per-round in-degree: n−1 for the globally-");
+    println!("synchronized variants, ln n / ln ln n (balls-into-bins) for Distributed.");
+}

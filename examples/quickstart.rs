@@ -1,0 +1,64 @@
+//! Quickstart: run each MWU variant on a small unimodal bandit and print
+//! what it learned.
+//!
+//! ```text
+//! cargo run --release -p mwrepair-examples --bin quickstart
+//! ```
+
+use mwu_core::prelude::*;
+
+fn main() {
+    // A 32-arm bandit shaped like the paper's repair-density curves:
+    // v(x) ∝ x·e^(−x/8), peaking at arm index 7 (x = 8).
+    let raw: Vec<f64> = (1..=32)
+        .map(|x| {
+            let x = x as f64;
+            x * (-x / 8.0).exp()
+        })
+        .collect();
+    let peak = raw.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let values: Vec<f64> = raw.iter().map(|v| 0.9 * v / peak).collect();
+    let best = values
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .unwrap()
+        .0;
+    println!(
+        "ground truth: best arm = {best} (value {:.3})\n",
+        values[best]
+    );
+
+    // Standard MWU: full information, one agent per arm.
+    let mut standard = StandardMwu::new(32, StandardConfig::default());
+    let mut bandit = ValueBandit::bernoulli(values.clone());
+    let out = run_to_convergence(&mut standard, &mut bandit, &RunConfig::seeded(42));
+    report("Standard", &out, &values);
+
+    // Slate MWU: evaluates a small subset per cycle.
+    let mut slate = SlateMwu::new(32, SlateConfig::default());
+    let mut bandit = ValueBandit::bernoulli(values.clone());
+    let out = run_to_convergence(&mut slate, &mut bandit, &RunConfig::seeded(42));
+    report("Slate", &out, &values);
+
+    // Distributed MWU: a population of memoryless agents.
+    let mut distributed = DistributedMwu::new(32, DistributedConfig::default());
+    let mut bandit = ValueBandit::bernoulli(values.clone());
+    let out = run_to_convergence(&mut distributed, &mut bandit, &RunConfig::seeded(42));
+    report("Distributed", &out, &values);
+}
+
+fn report(name: &str, out: &RunOutcome, values: &[f64]) {
+    println!(
+        "{name:12} leader arm {:2}  accuracy {:5.1}%  {} update cycles, {} CPU-iterations{}",
+        out.leader,
+        out.accuracy(values),
+        out.iterations,
+        out.cpu_iterations,
+        if out.converged {
+            ""
+        } else {
+            "  (hit iteration cap)"
+        },
+    );
+}

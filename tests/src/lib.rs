@@ -1,0 +1,22 @@
+//! Integration-test support crate.
+//!
+//! The tests themselves live in `tests/tests/*.rs` and exercise the public
+//! APIs of `mwu-core`, `simnet`, `mwu-datasets`, `apr-sim`, `mwrepair` and
+//! `apr-baselines` **together** — the composition paths a downstream user
+//! actually takes. This library only hosts a couple of shared helpers.
+
+use mwu_core::run::RunConfig;
+
+/// A short-budget run configuration for integration tests.
+pub fn test_run_config(seed: u64) -> RunConfig {
+    RunConfig {
+        max_iterations: 5_000,
+        seed,
+        run_past_convergence: false,
+    }
+}
+
+/// Deterministic seed stream for test replicates.
+pub fn test_seed(label: u64, rep: u64) -> u64 {
+    mwu_core::rng::mix(&[0x7E57_7E57, label, rep])
+}

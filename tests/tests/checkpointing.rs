@@ -1,0 +1,121 @@
+//! Integration: algorithm state checkpointing (serde round trips).
+//!
+//! Long repair campaigns need to survive restarts; every algorithm's state
+//! serializes, and a resumed run continues *exactly* where the original
+//! left off (same plans, same updates) given the same RNG stream.
+
+use mwu_core::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Max elementwise difference between two probability vectors.
+fn max_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Drive `alg` for `n` cycles against `bandit`, returning its final state.
+fn drive<A: MwuAlgorithm>(alg: &mut A, bandit: &mut ValueBandit, n: usize, rng: &mut SmallRng) {
+    for _ in 0..n {
+        let plan = alg.plan(rng).to_vec();
+        let rewards: Vec<f64> = plan.iter().map(|&a| bandit.pull(a, rng)).collect();
+        alg.update(&rewards, rng);
+    }
+}
+
+fn values() -> Vec<f64> {
+    mwu_core::bandit::random_values(24, 5)
+}
+
+#[test]
+fn standard_checkpoint_resumes_identically() {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let mut bandit = ValueBandit::bernoulli(values());
+    let mut alg = StandardMwu::new(24, StandardConfig::default());
+    drive(&mut alg, &mut bandit, 50, &mut rng);
+
+    // Checkpoint mid-run (algorithm + bandit + RNG state via JSON for the
+    // algorithm; the RNG stream is re-created from a continuation seed in a
+    // real deployment — here we clone to model a perfect snapshot).
+    let snapshot = serde_json::to_string(&alg).expect("serialize");
+    let mut resumed: StandardMwu = serde_json::from_str(&snapshot).expect("deserialize");
+
+    let mut rng_a = SmallRng::seed_from_u64(2);
+    let mut rng_b = SmallRng::seed_from_u64(2);
+    let mut bandit_a = ValueBandit::bernoulli(values());
+    let mut bandit_b = ValueBandit::bernoulli(values());
+    drive(&mut alg, &mut bandit_a, 30, &mut rng_a);
+    drive(&mut resumed, &mut bandit_b, 30, &mut rng_b);
+
+    assert_eq!(alg.leader(), resumed.leader());
+    // JSON float encoding may lose the last ulp; the resumed trajectory
+    // stays within numerical noise of the original.
+    assert!(max_diff(&alg.probabilities(), &resumed.probabilities()) < 1e-9);
+    assert_eq!(alg.has_converged(), resumed.has_converged());
+}
+
+#[test]
+fn slate_checkpoint_round_trips() {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let mut bandit = ValueBandit::bernoulli(values());
+    let mut alg = SlateMwu::new(24, SlateConfig::default());
+    drive(&mut alg, &mut bandit, 100, &mut rng);
+
+    let snapshot = serde_json::to_string(&alg).unwrap();
+    let resumed: SlateMwu = serde_json::from_str(&snapshot).unwrap();
+    assert!(max_diff(&alg.probabilities(), &resumed.probabilities()) < 1e-12);
+    assert_eq!(alg.slate_size(), resumed.slate_size());
+    assert!((alg.leader_share() - resumed.leader_share()).abs() < 1e-12);
+}
+
+#[test]
+fn distributed_checkpoint_preserves_population() {
+    let mut rng = SmallRng::seed_from_u64(4);
+    let mut bandit = ValueBandit::bernoulli(values());
+    let mut alg = DistributedMwu::new(24, DistributedConfig::default());
+    drive(&mut alg, &mut bandit, 20, &mut rng);
+
+    let snapshot = serde_json::to_string(&alg).unwrap();
+    let resumed: DistributedMwu = serde_json::from_str(&snapshot).unwrap();
+    assert_eq!(alg.counts(), resumed.counts());
+    assert_eq!(alg.population(), resumed.population());
+    assert_eq!(alg.comm_stats(), resumed.comm_stats());
+}
+
+#[test]
+fn sequential_strategies_checkpoint() {
+    use mwu_core::alternatives::{EpsilonGreedy, Ucb1};
+    let mut rng = SmallRng::seed_from_u64(5);
+    let mut bandit = ValueBandit::bernoulli(values());
+
+    let mut eg = EpsilonGreedy::new(24, 0.05);
+    drive(&mut eg, &mut bandit, 200, &mut rng);
+    let back: EpsilonGreedy = serde_json::from_str(&serde_json::to_string(&eg).unwrap()).unwrap();
+    assert!(max_diff(&eg.probabilities(), &back.probabilities()) < 1e-12);
+
+    let mut ucb = Ucb1::new(24);
+    drive(&mut ucb, &mut bandit, 200, &mut rng);
+    let back: Ucb1 = serde_json::from_str(&serde_json::to_string(&ucb).unwrap()).unwrap();
+    assert_eq!(ucb.leader(), back.leader());
+}
+
+#[test]
+fn scenario_and_pool_serialize_for_distribution() {
+    // Scenarios and pools are the shareable artifacts of the precompute
+    // phase ("reuse mutations for multiple bug repairs"): both must
+    // serialize so a pool built on one machine can be shipped to others.
+    use apr_sim::{BugScenario, MutationPool};
+    let s = BugScenario::by_name("Math80").unwrap();
+    let pool = s.build_pool(9, None);
+
+    let s_json = serde_json::to_string(&s).unwrap();
+    let s_back: BugScenario = serde_json::from_str(&s_json).unwrap();
+    assert_eq!(s_back.name, s.name);
+    assert!(max_diff(&s_back.value_distribution(), &s.value_distribution()) < 1e-12);
+
+    let p_json = serde_json::to_string(&pool).unwrap();
+    let p_back: MutationPool = serde_json::from_str(&p_json).unwrap();
+    assert_eq!(p_back, pool);
+}

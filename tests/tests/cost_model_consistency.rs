@@ -1,0 +1,123 @@
+//! Integration: the analytic cost model (Table I, §IV-E) against measured
+//! behaviour of the implementations.
+
+use integration_tests::{test_run_config, test_seed};
+use mwu_core::cost::{asymptotic_costs, default_operating_point, CostWeights, Variant, WeightedCostModel};
+use mwu_core::prelude::*;
+use mwu_datasets::catalog;
+use simnet::expected_max_load;
+
+#[test]
+fn measured_congestion_tracks_table1_communication_entries() {
+    let d = catalog::by_name("random1024").unwrap();
+    let k = d.size();
+
+    // Standard: communication O(n) with n = k.
+    let mut bandit = d.bandit();
+    let mut alg = StandardMwu::new(k, StandardConfig::default());
+    let out = run_to_convergence(&mut alg, &mut bandit, &test_run_config(test_seed(20, 0)));
+    assert_eq!(out.comm.peak_congestion, k);
+
+    // Distributed: communication Θ(ln n / ln ln n) w.h.p. with n = pop.
+    let mut bandit = d.bandit();
+    let mut alg = DistributedMwu::try_new(k, DistributedConfig::default()).unwrap();
+    let pop = alg.population();
+    let out = run_to_convergence(&mut alg, &mut bandit, &test_run_config(test_seed(20, 1)));
+    let theory = expected_max_load(pop);
+    assert!(
+        (out.comm.peak_congestion as f64) < 6.0 * theory,
+        "peak congestion {} vs theory {theory}",
+        out.comm.peak_congestion
+    );
+
+    // Slate: communication O(n) with n = slate size.
+    let mut bandit = d.bandit();
+    let mut alg = SlateMwu::new(k, SlateConfig::default());
+    let s = alg.slate_size();
+    let out = run_to_convergence(&mut alg, &mut bandit, &test_run_config(test_seed(20, 2)));
+    assert_eq!(out.comm.peak_congestion, s);
+}
+
+#[test]
+fn measured_cpu_footprints_match_min_agent_entries() {
+    let k = 4096;
+    // Table I minimum agents: Standard n = k; Slate n = γk; Distributed k^1.5.
+    let std_alg = StandardMwu::new(k, StandardConfig::default());
+    assert_eq!(std_alg.cpus_per_iteration(), k);
+
+    let slate_alg = SlateMwu::new(k, SlateConfig::default());
+    assert_eq!(
+        slate_alg.cpus_per_iteration(),
+        default_operating_point(Variant::Slate, k).n
+    );
+
+    let dist_alg = DistributedMwu::try_new(k, DistributedConfig::default()).unwrap();
+    assert_eq!(
+        dist_alg.cpus_per_iteration(),
+        default_operating_point(Variant::Distributed, k).n
+    );
+}
+
+#[test]
+fn memory_entries_reflect_implementations() {
+    // O(k) explicit weights for Standard/Slate, O(1)-per-agent for
+    // Distributed (its state is one option id per agent).
+    let p = default_operating_point(Variant::Standard, 512);
+    assert_eq!(asymptotic_costs(Variant::Standard, &p).memory, 512.0);
+    assert_eq!(
+        asymptotic_costs(Variant::Distributed, &default_operating_point(Variant::Distributed, 512))
+            .memory,
+        1.0
+    );
+
+    let alg = StandardMwu::new(512, StandardConfig::default());
+    assert_eq!(alg.probabilities().len(), 512);
+    let dist = DistributedMwu::try_new(512, DistributedConfig::default()).unwrap();
+    // Per-agent state: one u32 choice. Total state = population, not k×pop.
+    assert_eq!(dist.counts().len(), 512);
+    assert!(dist.population() >= 512);
+}
+
+#[test]
+fn apr_regime_recommendation_is_consistent_with_measured_winner() {
+    // The cost model recommends Standard for the APR regime (§IV-E.2); the
+    // measured §IV-G comparison uses Standard and wins. Here: Standard's
+    // measured latency (iterations, since all probes are parallel) on an
+    // APR dataset beats Slate's.
+    let d = catalog::by_name("libtiff-2005-12-14").unwrap();
+    let model = WeightedCostModel::new(CostWeights::apr_regime());
+    // The model's Standard recommendation kicks in once Distributed's
+    // k^{3/2} agent bill dominates (k ≳ 1000, the scale of the paper's C
+    // scenarios); at the Java scenarios' k = 100 Distributed's population
+    // is still cheap enough to win on paper, though not in measured cycles.
+    assert_eq!(model.recommend_for_k(1024), Variant::Standard);
+    assert_eq!(model.recommend_for_k(4096), Variant::Standard);
+
+    let mut iters_std = 0;
+    let mut iters_slate = 0;
+    for rep in 0..3 {
+        let mut bandit = d.bandit();
+        let mut alg = StandardMwu::new(d.size(), StandardConfig::default());
+        iters_std +=
+            run_to_convergence(&mut alg, &mut bandit, &test_run_config(test_seed(21, rep)))
+                .iterations;
+        let mut bandit = d.bandit();
+        let mut alg = SlateMwu::new(d.size(), SlateConfig::default());
+        iters_slate +=
+            run_to_convergence(&mut alg, &mut bandit, &test_run_config(test_seed(21, rep)))
+                .iterations;
+    }
+    assert!(
+        iters_std < iters_slate,
+        "standard {iters_std} !< slate {iters_slate} update cycles"
+    );
+}
+
+#[test]
+fn two_term_model_favors_distributed_everywhere() {
+    // §IV-E.1: "this analysis clearly favors Distributed."
+    let m = WeightedCostModel::new(CostWeights::two_term(1.0, 1.0));
+    for k in [64, 1024, 16384] {
+        assert_eq!(m.recommend_for_k(k), Variant::Distributed, "k={k}");
+    }
+}

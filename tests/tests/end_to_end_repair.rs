@@ -1,0 +1,173 @@
+//! Integration: the full MWRepair pipeline and the §IV-G baseline
+//! comparison on catalog scenarios.
+
+use apr_baselines::{AdaptiveSearch, GenProg, GenProgConfig, RandomSearch, SearchBudget};
+use apr_sim::{BugScenario, CostLedger};
+use integration_tests::test_seed;
+use mwrepair::{repair_with_variant, MwRepairConfig, VariantChoice};
+
+#[test]
+fn mwrepair_repairs_an_easy_catalog_scenario_with_every_variant() {
+    let s = BugScenario::by_name("lighttpd-1806-1807").unwrap();
+    let pool = s.build_pool(test_seed(10, 0), None);
+    for variant in [
+        VariantChoice::Standard,
+        VariantChoice::Slate,
+        VariantChoice::Distributed,
+    ] {
+        let out = repair_with_variant(
+            &s,
+            &pool,
+            variant,
+            &MwRepairConfig::seeded(test_seed(10, 1)),
+            None,
+        )
+        .expect("k ≤ 512 arms is tractable for all variants");
+        assert!(out.is_repaired(), "{variant:?} found no repair");
+        // Independent verification: the returned patch reproduces.
+        let patch = out.repair.unwrap();
+        let verify = s.evaluate(&patch.mutations, None);
+        assert!(verify.repaired, "{variant:?} patch does not reproduce");
+        assert_eq!(verify.fitness, s.suite.max_fitness());
+    }
+}
+
+#[test]
+fn mwrepair_repairs_a_hard_scenario_where_single_edit_search_fails() {
+    // gzip-2009-09-26 is tuned so single-edit search needs ≈22k expected
+    // evaluations; a 10k budget exhausts for both the deterministic (AE)
+    // and the random (RSRepair) single-edit searches. MWRepair's
+    // multi-mutation probes reach the repair far sooner.
+    let s = BugScenario::by_name("gzip-2009-09-26").unwrap();
+    let pool = s.build_pool(test_seed(11, 0), None);
+
+    let mw = repair_with_variant(
+        &s,
+        &pool,
+        VariantChoice::Standard,
+        &MwRepairConfig::seeded(test_seed(11, 1)),
+        None,
+    )
+    .unwrap();
+    assert!(mw.is_repaired(), "MWRepair failed the hard scenario");
+    assert!(
+        mw.probes < 10_000,
+        "MWRepair used {} probes — no better than single-edit search",
+        mw.probes
+    );
+
+    // AE is deterministic: one run settles it.
+    let ae = AdaptiveSearch::default().run(&s, &SearchBudget::new(10_000, 0), None);
+    assert!(!ae.is_repaired(), "AE unexpectedly repaired the hard scenario");
+    let rs = RandomSearch::default().run(&s, &SearchBudget::new(10_000, 7), None);
+    assert!(!rs.is_repaired(), "RSRepair unexpectedly repaired the hard scenario");
+}
+
+#[test]
+fn repair_composes_multiple_mutations() {
+    // The headline capability: repairs are found *inside compositions* of
+    // many mutations — "an approach that to our knowledge is unexplored in
+    // the program repair literature".
+    let s = BugScenario::by_name("gzip-2009-09-26").unwrap();
+    let pool = s.build_pool(test_seed(12, 0), None);
+    let out = repair_with_variant(
+        &s,
+        &pool,
+        VariantChoice::Standard,
+        &MwRepairConfig::seeded(test_seed(12, 1)),
+        None,
+    )
+    .unwrap();
+    let patch = out.repair.expect("repair expected");
+    assert!(
+        patch.mutations.len() > 2,
+        "repair used only {} mutations — not a multi-edit composition",
+        patch.mutations.len()
+    );
+}
+
+#[test]
+fn baselines_repair_easy_scenarios_within_genprog_budgets() {
+    let s = BugScenario::by_name("Closure13").unwrap();
+    let budget = SearchBudget::new(10_000, test_seed(13, 0));
+    let gp = GenProg::new(GenProgConfig::default()).run(&s, &budget, None);
+    let rs = RandomSearch::default().run(&s, &budget, None);
+    assert!(gp.is_repaired(), "GenProg failed an easy scenario");
+    assert!(rs.is_repaired(), "RSRepair failed an easy scenario");
+    // Patches reproduce.
+    assert!(s.evaluate(gp.repair.as_ref().unwrap(), None).repaired);
+    assert!(s.evaluate(rs.repair.as_ref().unwrap(), None).repaired);
+}
+
+#[test]
+fn ledger_separates_precompute_from_online_cost() {
+    let s = BugScenario::by_name("Math80").unwrap();
+    let precompute = CostLedger::new();
+    let pool = s.build_pool(test_seed(14, 0), Some(&precompute));
+    let pre_evals = precompute.fitness_evals();
+    assert!(pre_evals as usize >= pool.len(), "precompute undercounted");
+
+    let online = CostLedger::new();
+    let out = repair_with_variant(
+        &s,
+        &pool,
+        VariantChoice::Standard,
+        &MwRepairConfig::seeded(test_seed(14, 1)),
+        Some(&online),
+    )
+    .unwrap();
+    assert_eq!(online.fitness_evals(), out.probes);
+    // Parallel evaluation: critical path strictly below sequential cost.
+    assert!(online.critical_path_ms() < online.simulated_ms());
+}
+
+#[test]
+fn pool_revalidation_supports_suite_growth() {
+    // §III-C: "the safe mutation pool can be updated incrementally" as
+    // tests are added — and the shrunken pool still supports repair.
+    let s = BugScenario::by_name("libtiff-2005-12-14").unwrap();
+    let mut pool = s.build_pool(test_seed(15, 0), None);
+    let before = pool.len();
+    let evicted = pool.revalidate(&s.world, 999, 25, 0.05, None);
+    assert!(evicted > 0, "expected some evictions at 5% break rate");
+    assert_eq!(pool.len(), before - evicted);
+
+    let out = repair_with_variant(
+        &s,
+        &pool,
+        VariantChoice::Standard,
+        &MwRepairConfig::seeded(test_seed(15, 1)),
+        None,
+    )
+    .unwrap();
+    assert!(out.is_repaired(), "repair failed after pool revalidation");
+}
+
+#[test]
+fn latency_advantage_over_sequential_baselines() {
+    // The §IV-G latency shape on one scenario: MWRepair's parallel probes
+    // give a critical path far below AE's sequential enumeration.
+    let s = BugScenario::by_name("units").unwrap();
+    let pool = s.build_pool(test_seed(16, 0), None);
+    let mw_ledger = CostLedger::new();
+    let mw = repair_with_variant(
+        &s,
+        &pool,
+        VariantChoice::Standard,
+        &MwRepairConfig::seeded(test_seed(16, 1)),
+        Some(&mw_ledger),
+    )
+    .unwrap();
+    assert!(mw.is_repaired());
+
+    let ae_ledger = CostLedger::new();
+    let ae = AdaptiveSearch::default().run(&s, &SearchBudget::new(10_000, 0), Some(&ae_ledger));
+    if ae.is_repaired() {
+        assert!(
+            mw_ledger.critical_path_ms() * 5 < ae_ledger.critical_path_ms(),
+            "MWRepair latency {} not ≪ AE latency {}",
+            mw_ledger.critical_path_ms(),
+            ae_ledger.critical_path_ms()
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! Failure injection and edge-condition integration tests: the library's
+//! behaviour at the boundaries a downstream user will eventually hit.
+
+use apr_sim::{BugScenario, ScenarioKind};
+use integration_tests::test_run_config;
+use mwrepair::{repair_with_variant, MwRepairConfig, VariantChoice};
+use mwu_core::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+#[test]
+fn all_zero_value_dataset_is_handled() {
+    // Every arm worthless: algorithms must terminate (converged or capped)
+    // without panicking, and accuracy is defined as 100 (no value to lose).
+    let values = vec![0.0; 16];
+    for variant in 0..3 {
+        let mut bandit = ValueBandit::bernoulli(values.clone());
+        let cfg = test_run_config(1);
+        let out = match variant {
+            0 => {
+                let mut a = StandardMwu::new(16, StandardConfig::default());
+                run_to_convergence(&mut a, &mut bandit, &cfg)
+            }
+            1 => {
+                let mut a = SlateMwu::new(16, SlateConfig::default());
+                run_to_convergence(&mut a, &mut bandit, &cfg)
+            }
+            _ => {
+                let mut a = DistributedMwu::new(16, DistributedConfig::default());
+                run_to_convergence(&mut a, &mut bandit, &cfg)
+            }
+        };
+        assert!(out.iterations >= 1);
+        assert!((out.accuracy(&values) - 100.0).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn all_equal_values_any_leader_is_fully_accurate() {
+    let values = vec![0.5; 32];
+    let mut bandit = ValueBandit::bernoulli(values.clone());
+    let mut alg = StandardMwu::new(32, StandardConfig::default());
+    let out = run_to_convergence(&mut alg, &mut bandit, &test_run_config(2));
+    assert!((out.accuracy(&values) - 100.0).abs() < 1e-9);
+}
+
+#[test]
+fn two_arm_minimum_instances_work_everywhere() {
+    let values = vec![0.2, 0.8];
+    for seed in 0..3 {
+        let mut bandit = ValueBandit::bernoulli(values.clone());
+        let mut alg = SlateMwu::new(2, SlateConfig::default());
+        assert_eq!(alg.slate_size(), 2); // slate covers the whole space
+        let out = run_to_convergence(&mut alg, &mut bandit, &test_run_config(seed));
+        assert_eq!(out.leader, 1);
+    }
+}
+
+#[test]
+fn out_of_range_rewards_are_clamped_not_fatal() {
+    // A buggy environment handing rewards outside [0,1] must not poison
+    // the weight vector.
+    let mut alg = StandardMwu::new(4, StandardConfig::default());
+    let mut rng = SmallRng::seed_from_u64(3);
+    for _ in 0..100 {
+        let _ = alg.plan(&mut rng);
+        alg.update(&[-5.0, 0.5, 7.0, f64::MAX], &mut rng);
+    }
+    let p = alg.probabilities();
+    assert!(p.iter().all(|x| x.is_finite() && *x >= 0.0));
+    assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    // The (clamped) best arm dominates.
+    assert!(alg.leader() == 2 || alg.leader() == 3);
+}
+
+#[test]
+fn unrepairable_scenario_returns_null_not_panic() {
+    // Fig. 6 returns null when the budget expires without a repair.
+    let s = BugScenario::custom("hopeless", ScenarioKind::Synthetic, 30, 8, 200, 10, 0.0, 5);
+    let pool = s.build_pool(1, None);
+    let cfg = MwRepairConfig {
+        max_iterations: 50,
+        seed: 4,
+        reward: mwrepair::RewardMode::DensityProxy,
+        max_composition: 512,
+    };
+    let out = repair_with_variant(&s, &pool, VariantChoice::Slate, &cfg, None).unwrap();
+    assert!(!out.is_repaired());
+    assert_eq!(out.iterations, 50);
+    assert!(out.probes > 0);
+}
+
+#[test]
+fn repair_patch_materializes_into_a_concrete_mutant() {
+    let s = BugScenario::custom("materialize", ScenarioKind::Synthetic, 40, 10, 300, 12, 0.05, 6);
+    let pool = s.build_pool(1, None);
+    let out = repair_with_variant(
+        &s,
+        &pool,
+        VariantChoice::Standard,
+        &MwRepairConfig::seeded(7),
+        None,
+    )
+    .unwrap();
+    let patch = out.repair.expect("repairable scenario");
+    let mutant = patch.materialize(&s);
+    // Every edit of the composition resolved against the original program.
+    assert_eq!(mutant.applied + mutant.skipped, patch.mutations.len());
+    assert!(mutant.applied >= 1);
+    assert!(!mutant.is_empty());
+}
+
+#[test]
+fn tiny_population_override_still_sound() {
+    // A caller forcing a minimal population must still get a working
+    // protocol (counts consistent, convergence achievable on easy input).
+    let cfg = DistributedConfig {
+        pop_size: Some(16),
+        ..DistributedConfig::default()
+    };
+    let mut values = vec![0.05; 8];
+    values[3] = 0.95;
+    let mut alg = DistributedMwu::try_new(8, cfg).unwrap();
+    assert_eq!(alg.population(), 16);
+    let mut bandit = ValueBandit::bernoulli(values);
+    let out = run_to_convergence(&mut alg, &mut bandit, &test_run_config(8));
+    let total: u32 = alg.counts().iter().sum();
+    assert_eq!(total as usize, 16);
+    assert!(out.iterations >= 1);
+}
+
+#[test]
+fn max_composition_one_limits_probes_to_single_mutations() {
+    let s = BugScenario::custom("maxcomp", ScenarioKind::Synthetic, 30, 8, 200, 10, 0.05, 9);
+    let pool = s.build_pool(1, None);
+    let cfg = MwRepairConfig {
+        max_iterations: 300,
+        seed: 1,
+        reward: mwrepair::RewardMode::DensityProxy,
+        max_composition: 1,
+    };
+    let out = repair_with_variant(&s, &pool, VariantChoice::Standard, &cfg, None).unwrap();
+    // One arm only: every probe composes exactly one mutation.
+    if let Some(patch) = out.repair {
+        assert_eq!(patch.mutations.len(), 1);
+    }
+    assert_eq!(out.leader_arm, 1);
+}
+
+#[test]
+fn dataset_csv_round_trip_through_disk() {
+    // io persistence path under a real filesystem.
+    let d = mwu_datasets::catalog::by_name("unimodal64").unwrap();
+    let dir = std::env::temp_dir().join("mwu_failure_injection");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("d.csv");
+    std::fs::write(&path, mwu_datasets::io::dataset_to_csv(&d)).unwrap();
+    let back = mwu_datasets::io::dataset_from_csv(std::fs::File::open(&path).unwrap()).unwrap();
+    assert_eq!(back.name, d.name);
+    assert_eq!(back.values.len(), d.values.len());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,254 @@
+//! Property-based tests over the core data structures and invariants.
+
+use apr_sim::interaction::InteractionModel;
+use apr_sim::mutation::{MutOp, Mutation, MutationId};
+use mwu_core::slate::{decompose_into_slates, systematic_sample};
+use mwu_core::stats::RunningStats;
+use mwu_core::weights::WeightVector;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn positive_weights(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(1e-6f64..1e6, 1..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // --- WeightVector ---
+
+    #[test]
+    fn weights_always_normalize(ws in positive_weights(64)) {
+        let w = WeightVector::from_weights(&ws);
+        let sum: f64 = w.probabilities().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(w.probabilities().iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn multiplicative_updates_preserve_simplex(
+        ws in positive_weights(32),
+        factors in prop::collection::vec(0.0f64..4.0, 1..32),
+    ) {
+        let mut w = WeightVector::from_weights(&ws);
+        let k = w.len();
+        w.scale_all(|i| factors[i % factors.len()]);
+        let sum: f64 = w.probabilities().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert_eq!(w.len(), k);
+    }
+
+    #[test]
+    fn capping_never_exceeds_cap_and_stays_on_simplex(
+        ws in positive_weights(48),
+        denom in 1usize..8,
+    ) {
+        let w = WeightVector::from_weights(&ws);
+        let k = w.len();
+        // A feasible cap: at least 1/k.
+        let cap = (1.0 / denom as f64).max(1.0 / k as f64);
+        let c = w.capped(cap);
+        prop_assert!(!c.exceeds_cap(cap, 1e-9));
+        let sum: f64 = c.probabilities().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        // Capping preserves the order of coordinates.
+        for i in 0..k {
+            for j in 0..k {
+                if w.get(i) > w.get(j) {
+                    prop_assert!(c.get(i) >= c.get(j) - 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mix_uniform_keeps_floor(ws in positive_weights(32), gamma in 0.0f64..1.0) {
+        let w = WeightVector::from_weights(&ws);
+        let m = w.mix_uniform(gamma);
+        let k = m.len() as f64;
+        for &p in m.probabilities() {
+            prop_assert!(p >= gamma / k - 1e-12);
+        }
+    }
+
+    // --- Slate machinery ---
+
+    #[test]
+    fn systematic_sampling_returns_s_distinct_members(
+        ws in positive_weights(40),
+        s_raw in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        let w = WeightVector::from_weights(&ws);
+        let k = w.len();
+        let s = s_raw.min(k);
+        let capped = w.capped((1.0 / s as f64).max(1.0 / k as f64));
+        let q: Vec<f64> = capped.probabilities().iter().map(|&p| (s as f64 * p).min(1.0)).collect();
+        // Only exercise when q genuinely sums to s (cap feasible).
+        let total: f64 = q.iter().sum();
+        prop_assume!((total - s as f64).abs() < 1e-6);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let slate = systematic_sample(&q, s, &mut rng);
+        prop_assert_eq!(slate.len(), s);
+        let mut sorted = slate.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), s, "duplicate slate members");
+        prop_assert!(slate.iter().all(|&i| i < k));
+    }
+
+    #[test]
+    fn decomposition_reconstructs_q_exactly(
+        ws in positive_weights(24),
+        s_raw in 1usize..6,
+    ) {
+        let w = WeightVector::from_weights(&ws);
+        let k = w.len();
+        let s = s_raw.min(k);
+        let capped = w.capped((1.0 / s as f64).max(1.0 / k as f64));
+        let q: Vec<f64> = capped.probabilities().iter().map(|&p| (s as f64 * p).min(1.0)).collect();
+        let total: f64 = q.iter().sum();
+        prop_assume!((total - s as f64).abs() < 1e-6);
+
+        let d = decompose_into_slates(&q, s);
+        let lambda_sum: f64 = d.iter().map(|(l, _)| l).sum();
+        prop_assert!((lambda_sum - 1.0).abs() < 1e-6, "lambda sum {}", lambda_sum);
+        let mut recon = vec![0.0; k];
+        for (lambda, slate) in &d {
+            prop_assert_eq!(slate.len(), s);
+            prop_assert!(*lambda >= -1e-12);
+            for &i in slate {
+                recon[i] += lambda;
+            }
+        }
+        for i in 0..k {
+            prop_assert!((recon[i] - q[i]).abs() < 1e-6, "arm {}: {} vs {}", i, recon[i], q[i]);
+        }
+    }
+
+    // --- Statistics ---
+
+    #[test]
+    fn running_stats_merge_is_associative_enough(
+        xs in prop::collection::vec(-1e6f64..1e6, 2..200),
+        split in 1usize..199,
+    ) {
+        let split = split.min(xs.len() - 1);
+        let seq: RunningStats = xs.iter().copied().collect();
+        let mut a: RunningStats = xs[..split].iter().copied().collect();
+        let b: RunningStats = xs[split..].iter().copied().collect();
+        a.merge(&b);
+        prop_assert_eq!(a.count(), seq.count());
+        prop_assert!((a.mean() - seq.mean()).abs() < 1e-6 * (1.0 + seq.mean().abs()));
+        prop_assert!((a.variance() - seq.variance()).abs() < 1e-4 * (1.0 + seq.variance()));
+    }
+
+    // --- APR substrate ---
+
+    #[test]
+    fn interaction_survival_is_monotone_in_x(
+        x1 in 1usize..200,
+        x2 in 1usize..200,
+        opt in 5usize..100,
+    ) {
+        let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+        for m in [
+            InteractionModel::pairwise_with_optimum(opt),
+            InteractionModel::decay_with_optimum(opt),
+        ] {
+            prop_assert!(m.expected_survival(lo) >= m.expected_survival(hi) - 1e-12);
+            prop_assert!(m.expected_survival(lo) <= 1.0 && m.expected_survival(hi) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn interaction_survival_is_permutation_invariant(
+        ids in prop::collection::hash_set(any::<u64>(), 2..12),
+        world in any::<u64>(),
+        opt in 5usize..60,
+    ) {
+        let m = InteractionModel::pairwise_with_optimum(opt);
+        let mut v: Vec<MutationId> = ids.into_iter().map(MutationId).collect();
+        let forward = m.composition_survives(world, &v);
+        v.reverse();
+        prop_assert_eq!(forward, m.composition_survives(world, &v));
+    }
+
+    #[test]
+    fn mutation_id_roundtrip_is_injective(
+        site1 in 0usize..10_000,
+        donor1 in 0usize..10_000,
+        site2 in 0usize..10_000,
+        donor2 in 0usize..10_000,
+        op1 in 0usize..4,
+        op2 in 0usize..4,
+    ) {
+        let ops = [MutOp::Delete, MutOp::Insert, MutOp::Swap, MutOp::Replace];
+        let m1 = Mutation { op: ops[op1], site: site1, donor: donor1 };
+        let m2 = Mutation { op: ops[op2], site: site2, donor: donor2 };
+        prop_assert_eq!(m1 == m2, m1.id() == m2.id());
+    }
+
+    #[test]
+    fn mutation_safety_is_a_fixed_function_of_the_world(
+        site in 0usize..1_000,
+        donor in 0usize..1_000,
+        world in any::<u64>(),
+        rate in 0.0f64..1.0,
+    ) {
+        let m = Mutation { op: MutOp::Replace, site, donor };
+        prop_assert_eq!(m.is_safe(world, rate), m.is_safe(world, rate));
+    }
+}
+
+proptest! {
+    // Heavier cases get fewer iterations.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn pool_compositions_are_distinct_and_from_pool(
+        target in 5usize..60,
+        x in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        use apr_sim::{BugScenario, ScenarioKind};
+        let s = BugScenario::custom("prop", ScenarioKind::Synthetic, 30, 8, 200, 10, 0.01, 3);
+        let pool = apr_sim::MutationPool::precompute(
+            &s.program, &s.suite, &s.world, target, 1, None,
+        );
+        prop_assume!(pool.len() >= x);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let comp = pool.sample_composition(x, &mut rng);
+        prop_assert_eq!(comp.len(), x);
+        let mut ids: Vec<u64> = comp.iter().map(|m| m.id().0).collect();
+        ids.sort_unstable();
+        let n = ids.len();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), n);
+        for m in &comp {
+            prop_assert!(pool.mutations().contains(m));
+        }
+    }
+
+    #[test]
+    fn evaluation_is_deterministic_for_any_composition(
+        x in 0usize..8,
+        seed in any::<u64>(),
+    ) {
+        use apr_sim::{BugScenario, ScenarioKind};
+        let s = BugScenario::custom("prop2", ScenarioKind::Synthetic, 30, 8, 200, 10, 0.01, 9);
+        let sites: Vec<usize> = (0..s.program.len()).collect();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let comp: Vec<Mutation> = (0..x)
+            .map(|_| Mutation::random(&s.program, &sites, &mut rng))
+            .collect();
+        let a = s.evaluate(&comp, None);
+        let b = s.evaluate(&comp, None);
+        prop_assert_eq!(a, b);
+        prop_assert!(a.fitness <= s.suite.max_fitness());
+        if a.repaired {
+            prop_assert!(a.survived);
+        }
+    }
+}
