@@ -67,7 +67,10 @@ pub fn evaluate_composition(
         .all(|m| m.is_safe(world.world_seed, world.safe_rate));
 
     let ids: Vec<_> = muts.iter().map(|m| m.id()).collect();
-    let survived = all_safe && world.interaction.composition_survives(world.world_seed, &ids);
+    let survived = all_safe
+        && world
+            .interaction
+            .composition_survives(world.world_seed, &ids);
 
     if !survived {
         // A broken program fails between 1 and ~30 % of the required tests;

@@ -43,8 +43,7 @@ pub fn survival_curve(
             let passed = (0..trials)
                 .into_par_iter()
                 .filter(|&t| {
-                    let mut rng =
-                        SmallRng::seed_from_u64(mix3(seed, x as u64, t as u64));
+                    let mut rng = SmallRng::seed_from_u64(mix3(seed, x as u64, t as u64));
                     let comp = pool.sample_composition(x.min(pool.len()), &mut rng);
                     evaluate_composition(&scenario.world, &scenario.suite, &comp, None).survived
                 })
@@ -71,8 +70,7 @@ pub fn untested_survival_curve(
             let passed = (0..trials)
                 .into_par_iter()
                 .filter(|&t| {
-                    let mut rng =
-                        SmallRng::seed_from_u64(mix3(seed ^ 0xFF, x as u64, t as u64));
+                    let mut rng = SmallRng::seed_from_u64(mix3(seed ^ 0xFF, x as u64, t as u64));
                     let comp: Vec<Mutation> = (0..x)
                         .map(|_| Mutation::random(&scenario.program, &sites, &mut rng))
                         .collect();
@@ -101,8 +99,7 @@ pub fn repair_density_curve(
             let repaired = (0..trials)
                 .into_par_iter()
                 .filter(|&t| {
-                    let mut rng =
-                        SmallRng::seed_from_u64(mix3(seed ^ 0x4B, x as u64, t as u64));
+                    let mut rng = SmallRng::seed_from_u64(mix3(seed ^ 0x4B, x as u64, t as u64));
                     let comp = pool.sample_composition(x.min(pool.len()), &mut rng);
                     evaluate_composition(&scenario.world, &scenario.suite, &comp, None).repaired
                 })
@@ -133,7 +130,16 @@ mod tests {
     use crate::scenario::ScenarioKind;
 
     fn scenario() -> (BugScenario, MutationPool) {
-        let s = BugScenario::custom("fig4-test", ScenarioKind::Synthetic, 120, 20, 500, 20, 0.01, 77);
+        let s = BugScenario::custom(
+            "fig4-test",
+            ScenarioKind::Synthetic,
+            120,
+            20,
+            500,
+            20,
+            0.01,
+            77,
+        );
         let pool = s.build_pool(1, None);
         (s, pool)
     }

@@ -83,9 +83,9 @@ impl InteractionModel {
                 // Every mutation after the first risks breaking the
                 // composition; keyed on the mutation so re-testing the same
                 // composition gives the same verdict.
-                muts.iter().skip(1).all(|m| {
-                    !keyed_bernoulli(q, &[world_seed, 0x000D_ECA1, m.0])
-                })
+                muts.iter()
+                    .skip(1)
+                    .all(|m| !keyed_bernoulli(q, &[world_seed, 0x000D_ECA1, m.0]))
             }
         }
     }
@@ -97,9 +97,7 @@ impl InteractionModel {
                 let pairs = (x * x.saturating_sub(1) / 2) as f64;
                 (1.0 - p).powf(pairs)
             }
-            InteractionModel::PerMutationDecay { q } => {
-                (1.0 - q).powf(x.saturating_sub(1) as f64)
-            }
+            InteractionModel::PerMutationDecay { q } => (1.0 - q).powf(x.saturating_sub(1) as f64),
         }
     }
 
@@ -209,15 +207,17 @@ mod tests {
         for t in 0..trials {
             // Fresh random composition per trial (ids spaced to avoid
             // accidental pair reuse).
-            let c: Vec<MutationId> =
-                (0..x).map(|i| MutationId(t * 1000 + i * 7 + 1)).collect();
+            let c: Vec<MutationId> = (0..x).map(|i| MutationId(t * 1000 + i * 7 + 1)).collect();
             if m.composition_survives(77, &c) {
                 survived += 1;
             }
         }
         let emp = survived as f64 / trials as f64;
         let exp = m.expected_survival(x as usize);
-        assert!((emp - exp).abs() < 0.05, "empirical {emp} vs expected {exp}");
+        assert!(
+            (emp - exp).abs() < 0.05,
+            "empirical {emp} vs expected {exp}"
+        );
     }
 
     #[test]
@@ -225,7 +225,7 @@ mod tests {
         let m = InteractionModel::pairwise_with_optimum(30);
         let d: Vec<f64> = (1..200).map(|x| m.repair_density(x)).collect();
         let peak = m.density_optimum(200) - 1; // index into d
-        // Non-decreasing before the peak, non-increasing after.
+                                               // Non-decreasing before the peak, non-increasing after.
         for w in d[..peak].windows(2) {
             assert!(w[1] >= w[0] - 1e-12);
         }

@@ -117,11 +117,7 @@ impl Localization {
     /// first — a deterministic order, as AE requires).
     pub fn ranked_sites(&self) -> Vec<usize> {
         let mut order: Vec<usize> = (0..self.scores.len()).collect();
-        order.sort_by(|&a, &b| {
-            self.scores[b]
-                .total_cmp(&self.scores[a])
-                .then(a.cmp(&b))
-        });
+        order.sort_by(|&a, &b| self.scores[b].total_cmp(&self.scores[a]).then(a.cmp(&b)));
         order
     }
 

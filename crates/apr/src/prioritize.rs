@@ -140,9 +140,8 @@ pub fn mean_eval_cost(
     use rand::SeedableRng;
     let mut total: u64 = 0;
     for t in 0..trials {
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(mwu_core::rng::mix(&[
-            seed, x as u64, t as u64,
-        ]));
+        let mut rng =
+            rand::rngs::SmallRng::seed_from_u64(mwu_core::rng::mix(&[seed, x as u64, t as u64]));
         let comp = pool.sample_composition(x.min(pool.len()), &mut rng);
         let out = match order {
             Some(o) => evaluate_early_exit(world, suite, o, &comp, None),
@@ -161,16 +160,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn setup() -> (BugScenario, crate::pool::MutationPool) {
-        let s = BugScenario::custom(
-            "prio",
-            ScenarioKind::Synthetic,
-            80,
-            15,
-            400,
-            25,
-            0.0,
-            91,
-        );
+        let s = BugScenario::custom("prio", ScenarioKind::Synthetic, 80, 15, 400, 25, 0.0, 91);
         let pool = s.build_pool(3, None);
         (s, pool)
     }

@@ -102,9 +102,7 @@ impl Program {
         let n_tests = suite.len();
         self.statements
             .iter()
-            .filter(|s| {
-                (0..n_tests).any(|t| s.covered_by(self.world_seed, t, n_tests))
-            })
+            .filter(|s| (0..n_tests).any(|t| s.covered_by(self.world_seed, t, n_tests)))
             .map(|s| s.id)
             .collect()
     }

@@ -200,10 +200,28 @@ impl BugScenario {
                 0x7A_0003,
             )
             .with_pool_size(15_000),
-            Self::custom("Math8", ScenarioKind::Java, 100, 60, 700, 40, 0.002, 0x7A_0004)
-                .with_pool_size(2_500),
-            Self::custom("Math80", ScenarioKind::Java, 100, 14, 700, 40, 0.001, 0x7A_0005)
-                .with_pool_size(4_000),
+            Self::custom(
+                "Math8",
+                ScenarioKind::Java,
+                100,
+                60,
+                700,
+                40,
+                0.002,
+                0x7A_0004,
+            )
+            .with_pool_size(2_500),
+            Self::custom(
+                "Math80",
+                ScenarioKind::Java,
+                100,
+                14,
+                700,
+                40,
+                0.001,
+                0x7A_0005,
+            )
+            .with_pool_size(4_000),
         ]
     }
 
@@ -292,8 +310,7 @@ mod tests {
     #[test]
     fn catalog_matches_paper_sizes() {
         let c = BugScenario::catalog_c();
-        let sizes: Vec<(String, usize)> =
-            c.iter().map(|s| (s.name.clone(), s.options)).collect();
+        let sizes: Vec<(String, usize)> = c.iter().map(|s| (s.name.clone(), s.options)).collect();
         assert_eq!(
             sizes,
             vec![

@@ -138,8 +138,14 @@ mod tests {
 
     #[test]
     fn synthetic_deterministic() {
-        assert_eq!(TestSuite::synthetic(10, 1, 5), TestSuite::synthetic(10, 1, 5));
-        assert_ne!(TestSuite::synthetic(10, 1, 5), TestSuite::synthetic(10, 1, 6));
+        assert_eq!(
+            TestSuite::synthetic(10, 1, 5),
+            TestSuite::synthetic(10, 1, 5)
+        );
+        assert_ne!(
+            TestSuite::synthetic(10, 1, 5),
+            TestSuite::synthetic(10, 1, 6)
+        );
     }
 
     #[test]

@@ -24,7 +24,9 @@ pub struct AdaptiveSearch {
 
 impl Default for AdaptiveSearch {
     fn default() -> Self {
-        Self { donors_per_site: 20 }
+        Self {
+            donors_per_site: 20,
+        }
     }
 }
 
@@ -114,7 +116,16 @@ mod tests {
 
     #[test]
     fn finds_single_edit_repairs_deterministically() {
-        let s = BugScenario::custom("ae-easy", ScenarioKind::Synthetic, 40, 10, 300, 12, 0.05, 51);
+        let s = BugScenario::custom(
+            "ae-easy",
+            ScenarioKind::Synthetic,
+            40,
+            10,
+            300,
+            12,
+            0.05,
+            51,
+        );
         let ae = AdaptiveSearch::default();
         let a = ae.run(&s, &SearchBudget::new(20_000, 0), None);
         let b = ae.run(&s, &SearchBudget::new(20_000, 12345), None);
@@ -128,8 +139,19 @@ mod tests {
 
     #[test]
     fn equivalence_pruning_reduces_evals() {
-        let s = BugScenario::custom("ae-prune", ScenarioKind::Synthetic, 40, 10, 200, 12, 0.0, 52);
-        let ae = AdaptiveSearch { donors_per_site: 50 };
+        let s = BugScenario::custom(
+            "ae-prune",
+            ScenarioKind::Synthetic,
+            40,
+            10,
+            200,
+            12,
+            0.0,
+            52,
+        );
+        let ae = AdaptiveSearch {
+            donors_per_site: 50,
+        };
         let out = ae.run(&s, &SearchBudget::new(1_000_000, 0), None);
         // Without pruning the enumeration would test sites × ops × donors;
         // with token classes it must be strictly less.
@@ -145,7 +167,16 @@ mod tests {
 
     #[test]
     fn budget_respected() {
-        let s = BugScenario::custom("ae-budget", ScenarioKind::Synthetic, 40, 10, 300, 12, 0.0, 53);
+        let s = BugScenario::custom(
+            "ae-budget",
+            ScenarioKind::Synthetic,
+            40,
+            10,
+            300,
+            12,
+            0.0,
+            53,
+        );
         let out = AdaptiveSearch::default().run(&s, &SearchBudget::new(57, 0), None);
         assert_eq!(out.evals, 57);
         assert!(!out.is_repaired());

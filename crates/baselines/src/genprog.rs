@@ -173,8 +173,16 @@ impl GenProg {
 }
 
 fn crossover(a: &[Mutation], b: &[Mutation], rng: &mut SmallRng) -> Vec<Mutation> {
-    let cut_a = if a.is_empty() { 0 } else { rng.gen_range(0..=a.len()) };
-    let cut_b = if b.is_empty() { 0 } else { rng.gen_range(0..=b.len()) };
+    let cut_a = if a.is_empty() {
+        0
+    } else {
+        rng.gen_range(0..=a.len())
+    };
+    let cut_b = if b.is_empty() {
+        0
+    } else {
+        rng.gen_range(0..=b.len())
+    };
     let mut child: Vec<Mutation> = a[..cut_a].to_vec();
     child.extend_from_slice(&b[cut_b..]);
     if child.is_empty() && !a.is_empty() {
@@ -190,7 +198,16 @@ mod tests {
 
     fn easy_scenario() -> BugScenario {
         // High repair rate so GenProg's 1–2 edit search finds it quickly.
-        BugScenario::custom("gp-easy", ScenarioKind::Synthetic, 40, 10, 300, 12, 0.05, 31)
+        BugScenario::custom(
+            "gp-easy",
+            ScenarioKind::Synthetic,
+            40,
+            10,
+            300,
+            12,
+            0.05,
+            31,
+        )
     }
 
     #[test]

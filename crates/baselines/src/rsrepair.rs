@@ -86,7 +86,16 @@ mod tests {
 
     #[test]
     fn repairs_high_rate_scenario() {
-        let s = BugScenario::custom("rs-easy", ScenarioKind::Synthetic, 40, 10, 300, 12, 0.06, 41);
+        let s = BugScenario::custom(
+            "rs-easy",
+            ScenarioKind::Synthetic,
+            40,
+            10,
+            300,
+            12,
+            0.06,
+            41,
+        );
         let out = RandomSearch::default().run(&s, &SearchBudget::new(8_000, 1), None);
         assert!(out.is_repaired(), "evals {}", out.evals);
         let verify = s.evaluate(out.repair.as_ref().unwrap(), None);
@@ -121,10 +130,7 @@ mod tests {
         let out = rs.run(&s, &SearchBudget::new(320, 1), Some(&ledger));
         assert_eq!(out.evals, 320);
         // 320 evals in rounds of 32 ⇒ 10 rounds of critical path.
-        assert_eq!(
-            ledger.critical_path_ms(),
-            10 * s.suite.full_run_cost_ms()
-        );
+        assert_eq!(ledger.critical_path_ms(), 10 * s.suite.full_run_cost_ms());
         assert!(out.cost.parallel_speedup() > 10.0);
     }
 }

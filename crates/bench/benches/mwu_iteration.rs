@@ -52,5 +52,39 @@ fn bench_iteration(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_iteration);
+/// The tentpole claim of the telemetry layer: driving a run through
+/// `run_to_convergence_observed(…, &mut NullObserver)` costs the same as the
+/// legacy `run_to_convergence` — `NullObserver::enabled()` is a constant
+/// `false`, so the observed path monomorphizes to the pre-telemetry loop.
+fn bench_null_observer_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("null_observer_overhead");
+    group.sample_size(20);
+    let k = 256usize;
+    let values = random::generate(k, 1);
+    let cfg = RunConfig {
+        max_iterations: 200,
+        seed: 7,
+        run_past_convergence: true,
+    };
+
+    group.bench_function("legacy_unobserved", |b| {
+        b.iter(|| {
+            let mut alg = StandardMwu::new(k, StandardConfig::default());
+            let mut bandit = ValueBandit::bernoulli(values.clone());
+            run_to_convergence(&mut alg, &mut bandit, &cfg)
+        });
+    });
+
+    group.bench_function("observed_null", |b| {
+        b.iter(|| {
+            let mut alg = StandardMwu::new(k, StandardConfig::default());
+            let mut bandit = ValueBandit::bernoulli(values.clone());
+            run_to_convergence_observed(&mut alg, &mut bandit, &cfg, &mut NullObserver)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_iteration, bench_null_observer_overhead);
 criterion_main!(benches);

@@ -44,11 +44,15 @@ fn bench_sampling(c: &mut Criterion) {
 
         // Decomposition reused across draws (amortized): decompose once,
         // then sample vertices — the practical middle ground.
-        group.bench_with_input(BenchmarkId::new("decomposition_amortized", k), &k, |b, _| {
-            let d = decompose_into_slates(&q, s);
-            let mut rng = SmallRng::seed_from_u64(9);
-            b.iter(|| sample_decomposition(&d, &mut rng));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("decomposition_amortized", k),
+            &k,
+            |b, _| {
+                let d = decompose_into_slates(&q, s);
+                let mut rng = SmallRng::seed_from_u64(9);
+                b.iter(|| sample_decomposition(&d, &mut rng));
+            },
+        );
     }
     group.finish();
 }

@@ -258,7 +258,8 @@ impl MwuAlgorithm for EpsilonGreedy {
 
     fn update(&mut self, rewards: &[f64], _rng: &mut SmallRng) {
         assert_eq!(rewards.len(), 1, "sequential strategy pulls one arm");
-        self.state.record(self.state.last_arm, rewards[0].clamp(0.0, 1.0));
+        self.state
+            .record(self.state.last_arm, rewards[0].clamp(0.0, 1.0));
     }
 
     fn leader(&self) -> usize {
@@ -347,7 +348,8 @@ impl MwuAlgorithm for Ucb1 {
 
     fn update(&mut self, rewards: &[f64], _rng: &mut SmallRng) {
         assert_eq!(rewards.len(), 1, "sequential strategy pulls one arm");
-        self.state.record(self.state.last_arm, rewards[0].clamp(0.0, 1.0));
+        self.state
+            .record(self.state.last_arm, rewards[0].clamp(0.0, 1.0));
     }
 
     fn leader(&self) -> usize {
@@ -383,7 +385,6 @@ impl MwuAlgorithm for Ucb1 {
         Variant::Standard
     }
 }
-
 
 /// EXP3 (Auer et al., "The nonstochastic multiarmed bandit problem"): the
 /// *bandit-feedback* member of the exponential-weights family — exactly
@@ -460,7 +461,8 @@ impl MwuAlgorithm for Exp3 {
         // Convergence: like the other sequential strategies, 80 % of pulls
         // concentrated on the leader, after a warm-up.
         if self.total >= 10 * self.weights.len() as u64 {
-            self.convergence.observe(self.iteration, self.leader_share());
+            self.convergence
+                .observe(self.iteration, self.leader_share());
         }
     }
 
@@ -485,7 +487,9 @@ impl MwuAlgorithm for Exp3 {
     }
 
     fn probabilities(&self) -> Vec<f64> {
-        (0..self.weights.len()).map(|i| self.selection_p(i)).collect()
+        (0..self.weights.len())
+            .map(|i| self.selection_p(i))
+            .collect()
     }
 
     fn comm_stats(&self) -> CommStats {

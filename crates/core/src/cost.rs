@@ -370,11 +370,7 @@ mod tests {
         let m = WeightedCostModel::new(CostWeights::two_term(3.0, 7.0));
         let p = params(512, 128);
         let costs = m.costs(&p);
-        let best = costs
-            .iter()
-            .min_by(|a, b| a.1.total_cmp(&b.1))
-            .unwrap()
-            .0;
+        let best = costs.iter().min_by(|a, b| a.1.total_cmp(&b.1)).unwrap().0;
         assert_eq!(best, m.recommend(&p));
     }
 
@@ -382,10 +378,7 @@ mod tests {
     fn default_operating_points() {
         assert_eq!(default_operating_point(Variant::Standard, 1024).n, 1024);
         assert_eq!(default_operating_point(Variant::Slate, 1024).n, 52);
-        assert_eq!(
-            default_operating_point(Variant::Distributed, 1024).n,
-            32768
-        );
+        assert_eq!(default_operating_point(Variant::Distributed, 1024).n, 32768);
         // Tiny k clamps the slate to at least 2.
         assert_eq!(default_operating_point(Variant::Slate, 10).n, 2);
     }

@@ -256,8 +256,7 @@ impl MwuAlgorithm for DistributedMwu {
                 self.observed[j] = opt as u32;
             } else {
                 // Uniform neighbor other than self, same trick.
-                let mut nb =
-                    ((rng.next_u64() as u128 * pop_minus_1 as u128) >> 64) as usize;
+                let mut nb = ((rng.next_u64() as u128 * pop_minus_1 as u128) >> 64) as usize;
                 if nb >= j {
                     nb += 1;
                 }
@@ -275,7 +274,11 @@ impl MwuAlgorithm for DistributedMwu {
     fn update(&mut self, rewards: &[f64], rng: &mut SmallRng) {
         use rand::RngCore;
         let pop = self.choices.len();
-        assert_eq!(rewards.len(), pop, "Distributed expects one reward per agent");
+        assert_eq!(
+            rewards.len(),
+            pop,
+            "Distributed expects one reward per agent"
+        );
         self.iteration += 1;
         let a = self.config.alpha;
         let b = self.config.beta;
@@ -303,7 +306,8 @@ impl MwuAlgorithm for DistributedMwu {
                 }
             }
         }
-        self.convergence.observe(self.iteration, self.leader_share());
+        self.convergence
+            .observe(self.iteration, self.leader_share());
     }
 
     fn leader(&self) -> usize {

@@ -71,6 +71,7 @@ pub mod schedule;
 pub mod slate;
 pub mod standard;
 pub mod stats;
+pub mod trace;
 pub mod weights;
 
 pub use alternatives::{EpsilonGreedy, Exp3, HedgeConfig, HedgeMwu, Ucb1};
@@ -78,11 +79,12 @@ pub use bandit::{Bandit, NoiseModel, ValueBandit};
 pub use convergence::{ConvergenceCriterion, ConvergenceState};
 pub use cost::{AsymptoticCosts, CostWeights, Variant, WeightedCostModel};
 pub use distributed::{DistributedConfig, DistributedMwu};
-pub use regret::{run_with_regret, RegretCurve};
-pub use run::{run_to_convergence, RunConfig, RunOutcome};
+pub use regret::{run_with_regret, run_with_regret_observed, RegretCurve};
+pub use run::{run_to_convergence, run_to_convergence_observed, RunConfig, RunOutcome};
 pub use schedule::LearningRate;
 pub use slate::{SlateConfig, SlateMwu};
 pub use standard::{StandardConfig, StandardMwu};
+pub use trace::{JsonlSink, MetricsSink, NullObserver, Observer, ProgressSink, Tee, TraceEvent};
 pub use weights::WeightVector;
 
 use rand::rngs::SmallRng;
@@ -205,9 +207,10 @@ pub mod prelude {
     pub use crate::bandit::{Bandit, NoiseModel, ValueBandit};
     pub use crate::cost::{CostWeights, Variant, WeightedCostModel};
     pub use crate::distributed::{DistributedConfig, DistributedMwu};
-    pub use crate::run::{run_to_convergence, RunConfig, RunOutcome};
+    pub use crate::run::{run_to_convergence, run_to_convergence_observed, RunConfig, RunOutcome};
     pub use crate::slate::{SlateConfig, SlateMwu};
     pub use crate::standard::{StandardConfig, StandardMwu};
+    pub use crate::trace::{JsonlSink, MetricsSink, NullObserver, Observer, TraceEvent};
     pub use crate::weights::WeightVector;
     pub use crate::{CommStats, MwuAlgorithm};
 }

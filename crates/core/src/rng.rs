@@ -96,7 +96,9 @@ mod tests {
     #[test]
     fn keyed_bernoulli_marginal_rate_close_to_p() {
         let p = 0.3;
-        let hits = (0..20_000u64).filter(|&i| keyed_bernoulli(p, &[i, 77])).count();
+        let hits = (0..20_000u64)
+            .filter(|&i| keyed_bernoulli(p, &[i, 77]))
+            .count();
         let rate = hits as f64 / 20_000.0;
         assert!((rate - p).abs() < 0.02, "rate {rate} too far from {p}");
     }

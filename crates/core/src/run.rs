@@ -4,6 +4,10 @@
 //! communication stats).
 
 use crate::bandit::Bandit;
+use crate::trace::{
+    CommDelta, ConvergenceEvent, IterationEvent, NullObserver, Observer, RewardSummary,
+    RunStartEvent,
+};
 use crate::MwuAlgorithm;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -46,7 +50,7 @@ impl Default for RunConfig {
 
 /// Everything measured about one run, i.e. one cell-contribution to
 /// Tables II–IV.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunOutcome {
     /// Variant name ("standard" / "slate" / "distributed").
     pub algorithm: &'static str,
@@ -95,12 +99,43 @@ pub fn run_to_convergence<A: MwuAlgorithm, B: Bandit>(
     bandit: &mut B,
     config: &RunConfig,
 ) -> RunOutcome {
+    run_to_convergence_observed(alg, bandit, config, &mut NullObserver)
+}
+
+/// [`run_to_convergence`] with run telemetry delivered to `observer`.
+///
+/// Event construction (including the `probabilities()` clone behind the
+/// entropy figure) happens only when `observer.enabled()`; with
+/// [`NullObserver`] the whole telemetry path is compiled out, so the
+/// unobserved wrapper costs nothing over the pre-telemetry driver.
+pub fn run_to_convergence_observed<A: MwuAlgorithm, B: Bandit, O: Observer>(
+    alg: &mut A,
+    bandit: &mut B,
+    config: &RunConfig,
+    observer: &mut O,
+) -> RunOutcome {
     let mut rng = SmallRng::seed_from_u64(config.seed);
     let mut rewards: Vec<f64> = Vec::new();
     let mut iterations = 0;
     let start_pulls = bandit.pulls();
+    let mut convergence_reported = false;
+
+    if observer.enabled() {
+        observer.on_run_start(RunStartEvent {
+            algorithm: alg.name(),
+            num_arms: alg.num_arms(),
+            cpus_per_iteration: alg.cpus_per_iteration(),
+            seed: config.seed,
+            max_iterations: config.max_iterations,
+        });
+    }
 
     for _ in 0..config.max_iterations {
+        let comm_before = if observer.enabled() {
+            alg.comm_stats()
+        } else {
+            crate::CommStats::default()
+        };
         let plan = alg.plan(&mut rng);
         rewards.clear();
         rewards.reserve(plan.len());
@@ -109,12 +144,32 @@ pub fn run_to_convergence<A: MwuAlgorithm, B: Bandit>(
         }
         alg.update(&rewards, &mut rng);
         iterations += 1;
-        if alg.has_converged() && !config.run_past_convergence {
-            break;
+        if observer.enabled() {
+            observer.on_iteration(IterationEvent {
+                iteration: iterations,
+                leader: alg.leader(),
+                leader_share: alg.leader_share(),
+                entropy: crate::trace::entropy(&alg.probabilities()),
+                comm: CommDelta::between(&comm_before, &alg.comm_stats()),
+                reward: RewardSummary::of(&rewards),
+            });
+        }
+        if alg.has_converged() {
+            if observer.enabled() && !convergence_reported {
+                convergence_reported = true;
+                observer.on_convergence(ConvergenceEvent {
+                    iteration: iterations,
+                    leader: alg.leader(),
+                    leader_share: alg.leader_share(),
+                });
+            }
+            if !config.run_past_convergence {
+                break;
+            }
         }
     }
 
-    RunOutcome {
+    let outcome = RunOutcome {
         algorithm: alg.name(),
         iterations,
         converged: alg.has_converged(),
@@ -124,7 +179,11 @@ pub fn run_to_convergence<A: MwuAlgorithm, B: Bandit>(
         pulls: bandit.pulls() - start_pulls,
         comm: alg.comm_stats(),
         cpus_per_iteration: alg.cpus_per_iteration(),
+    };
+    if observer.enabled() {
+        observer.on_run_end(outcome.clone());
     }
+    outcome
 }
 
 #[cfg(test)]

@@ -136,7 +136,9 @@ impl SlateMwu {
             .unwrap_or_else(|| ((config.gamma * k as f64).ceil() as usize).clamp(2, k))
             .min(k);
         assert!(s >= 1, "slate size must be positive");
-        let eta = config.eta.unwrap_or(2.0 * config.gamma * s as f64 / k as f64);
+        let eta = config
+            .eta
+            .unwrap_or(2.0 * config.gamma * s as f64 / k as f64);
         assert!(eta > 0.0, "eta must be positive");
         // Ceiling on the leader's inclusion probability: capping at 1/s
         // means a fully-converged leader has q = 1 exactly (it is in every
@@ -258,7 +260,8 @@ impl MwuAlgorithm for SlateMwu {
         // The slate's s agents synchronize with the weight master each round.
         self.comm
             .record_round(self.slate_size, 2 * self.slate_size as u64);
-        self.convergence.observe(self.iteration, self.leader_share());
+        self.convergence
+            .observe(self.iteration, self.leader_share());
     }
 
     fn leader(&self) -> usize {
@@ -398,10 +401,7 @@ pub fn decompose_into_slates(q: &[f64], s: usize) -> Vec<(f64, Vec<usize>)> {
 }
 
 /// Draw one slate from a convex decomposition (vertex sampled ∝ λ).
-pub fn sample_decomposition(
-    decomposition: &[(f64, Vec<usize>)],
-    rng: &mut SmallRng,
-) -> Vec<usize> {
+pub fn sample_decomposition(decomposition: &[(f64, Vec<usize>)], rng: &mut SmallRng) -> Vec<usize> {
     let total: f64 = decomposition.iter().map(|(l, _)| *l).sum();
     let mut u: f64 = rng.gen::<f64>() * total;
     for (lambda, slate) in decomposition {
@@ -541,7 +541,10 @@ mod tests {
 
     #[test]
     fn both_samplers_find_good_arms() {
-        for sampling in [SlateSampling::Systematic, SlateSampling::ConvexDecomposition] {
+        for sampling in [
+            SlateSampling::Systematic,
+            SlateSampling::ConvexDecomposition,
+        ] {
             let mut alg = SlateMwu::new(
                 30,
                 SlateConfig {
@@ -598,7 +601,11 @@ mod tests {
         assert!(alg.has_converged(), "iterations: {}", alg.iteration());
         assert_eq!(alg.leader(), 17);
         // Convergence = cap saturation: the leader sits in every slate.
-        assert!(alg.leader_share() > 1.0 - 2e-5, "share {}", alg.leader_share());
+        assert!(
+            alg.leader_share() > 1.0 - 2e-5,
+            "share {}",
+            alg.leader_share()
+        );
     }
 
     #[test]

@@ -240,8 +240,7 @@ mod tests {
         let mut hits = 0;
         for seed in 0..10 {
             let mut alg = StandardMwu::new(8, StandardConfig::default());
-            let mut bandit =
-                ValueBandit::bernoulli(vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.9]);
+            let mut bandit = ValueBandit::bernoulli(vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.9]);
             drive(&mut alg, &mut bandit, 10_000, seed);
             if alg.leader() == 7 {
                 hits += 1;

@@ -148,12 +148,160 @@ pub struct Summary {
 impl Summary {
     /// Format as the paper's "mean (std)" cell with the given precision.
     pub fn cell(&self, precision: usize) -> String {
-        format!(
-            "{:.p$} ({:.p$})",
-            self.mean,
-            self.std_dev,
-            p = precision
-        )
+        format!("{:.p$} ({:.p$})", self.mean, self.std_dev, p = precision)
+    }
+}
+
+/// A mergeable monotone event counter, the unit of [`crate::trace::MetricsSink`]
+/// aggregation. Counts are conserved under [`Counter::merge`]:
+/// `a.merge(b)` leaves `a.get() == a_before + b`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter {
+    count: u64,
+}
+
+impl Counter {
+    /// Zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increment by one.
+    pub fn incr(&mut self) {
+        self.count += 1;
+    }
+
+    /// Increment by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.count += n;
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.count
+    }
+
+    /// Fold another counter into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Counter) {
+        self.count += other.count;
+    }
+}
+
+/// Number of log₂ buckets in a [`Histogram`]: one per binary exponent in
+/// `[-32, 31]`, so positive magnitudes from `2⁻³²` to `2³²` land in distinct
+/// buckets and everything outside clamps to the edge buckets.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+const HISTOGRAM_MIN_EXP: i32 = -32;
+
+/// Streaming log-bucketed histogram over non-negative observations, with
+/// exact moments tracked by an embedded [`RunningStats`].
+///
+/// Bucket boundaries are powers of two, fixed at construction, so two
+/// histograms built from different data interleavings have **identical**
+/// bucket counts — merge is associative and order-insensitive on counts
+/// (the embedded moments merge in floating point, so they agree to
+/// round-off, not bit-exactly).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// counts[i] holds observations with floor(log₂ x) = i + HISTOGRAM_MIN_EXP.
+    counts: Vec<u64>,
+    /// Observations ≤ 0 (zero rewards, idle rounds) — kept out of the log
+    /// buckets but in the moments.
+    non_positive: u64,
+    stats: RunningStats,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; HISTOGRAM_BUCKETS],
+            non_positive: 0,
+            stats: RunningStats::new(),
+        }
+    }
+
+    fn bucket_of(x: f64) -> Option<usize> {
+        if x <= 0.0 || !x.is_finite() {
+            return None;
+        }
+        let exp = x.log2().floor() as i64 - HISTOGRAM_MIN_EXP as i64;
+        Some(exp.clamp(0, HISTOGRAM_BUCKETS as i64 - 1) as usize)
+    }
+
+    /// Record one observation. Non-finite values are ignored.
+    pub fn record(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.stats.push(x);
+        match Self::bucket_of(x) {
+            Some(i) => self.counts[i] += 1,
+            None => self.non_positive += 1,
+        }
+    }
+
+    /// Fold another histogram into this one (parallel reduction). Bucket
+    /// counts add exactly; moments merge via [`RunningStats::merge`].
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.non_positive += other.non_positive;
+        self.stats.merge(&other.stats);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.stats.count()
+    }
+
+    /// Exact moments of everything recorded.
+    pub fn stats(&self) -> &RunningStats {
+        &self.stats
+    }
+
+    /// Estimated `q`-quantile (`q` clamped to `[0, 1]`): the upper edge of
+    /// the bucket holding the rank-`⌈q·n⌉` observation, clamped into the
+    /// observed `[min, max]`. Bucket edges are fixed, so the estimate is
+    /// monotone non-decreasing in `q`. Returns 0.0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let clamp = |v: f64| v.clamp(self.stats.min(), self.stats.max());
+        let mut cum = self.non_positive;
+        if cum >= rank {
+            // Rank falls among the non-positive observations.
+            return clamp(0.0);
+        }
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                let upper_exp = i as i32 + HISTOGRAM_MIN_EXP + 1;
+                return clamp((upper_exp as f64).exp2());
+            }
+        }
+        self.stats.max()
+    }
+
+    /// Raw bucket counts (index `i` covers `[2^(i-32), 2^(i-31))`), for
+    /// tests and reporting.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Observations ≤ 0.
+    pub fn non_positive_count(&self) -> u64 {
+        self.non_positive
     }
 }
 
@@ -237,6 +385,69 @@ mod tests {
     fn summary_cell_formatting() {
         let s: RunningStats = [1.0, 2.0, 3.0].into_iter().collect();
         assert_eq!(s.summary().cell(1), "2.0 (1.0)");
+    }
+
+    #[test]
+    fn counter_merge_conserves_counts() {
+        let mut a = Counter::new();
+        a.incr();
+        a.add(4);
+        let mut b = Counter::new();
+        b.add(7);
+        a.merge(&b);
+        assert_eq!(a.get(), 12);
+    }
+
+    #[test]
+    fn histogram_counts_and_moments() {
+        let mut h = Histogram::new();
+        for x in [0.5, 1.0, 2.0, 4.0, 0.0, -1.0] {
+            h.record(x);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.non_positive_count(), 2);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), 4);
+        assert!((h.stats().mean() - 6.5 / 6.0).abs() < 1e-12);
+        h.record(f64::NAN); // ignored
+        assert_eq!(h.count(), 6);
+    }
+
+    #[test]
+    fn histogram_merge_matches_sequential() {
+        let xs: Vec<f64> = (0..200).map(|i| (i as f64 * 0.37).abs() + 0.01).collect();
+        let mut seq = Histogram::new();
+        for &x in &xs {
+            seq.record(x);
+        }
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for &x in &xs[..77] {
+            a.record(x);
+        }
+        for &x in &xs[77..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.bucket_counts(), seq.bucket_counts());
+        assert_eq!(a.count(), seq.count());
+        assert!((a.stats().mean() - seq.stats().mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_monotone_and_bounded() {
+        let mut h = Histogram::new();
+        for i in 1..=100 {
+            h.record(i as f64);
+        }
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let v = h.quantile(q);
+            assert!(v >= prev, "quantile({q}) = {v} < {prev}");
+            assert!((1.0..=100.0).contains(&v));
+            prev = v;
+        }
+        assert_eq!(Histogram::new().quantile(0.5), 0.0);
     }
 
     #[test]

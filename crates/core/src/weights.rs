@@ -140,7 +140,11 @@ impl WeightVector {
         debug_assert!((0.0..=1.0).contains(&gamma));
         let k = self.p.len() as f64;
         WeightVector {
-            p: self.p.iter().map(|&p| (1.0 - gamma) * p + gamma / k).collect(),
+            p: self
+                .p
+                .iter()
+                .map(|&p| (1.0 - gamma) * p + gamma / k)
+                .collect(),
         }
     }
 

@@ -89,11 +89,7 @@ pub fn dataset_from_csv<R: Read>(r: R) -> io::Result<Dataset> {
 /// Write arbitrary CSV rows (header + rows of stringified cells) to a
 /// writer. Cells containing commas are not expected and will panic in
 /// debug builds.
-pub fn write_csv<W: Write>(
-    w: &mut W,
-    header: &[&str],
-    rows: &[Vec<String>],
-) -> io::Result<()> {
+pub fn write_csv<W: Write>(w: &mut W, header: &[&str], rows: &[Vec<String>]) -> io::Result<()> {
     writeln!(w, "{}", header.join(","))?;
     for row in rows {
         debug_assert!(row.iter().all(|c| !c.contains(',')), "comma in CSV cell");

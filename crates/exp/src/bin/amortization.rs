@@ -111,7 +111,13 @@ fn main() {
     let path = write_results_csv(
         &args.out_dir,
         "amortization.csv",
-        &["bugs", "amortized_evals", "per_bug_evals", "amortized_latency", "per_bug_latency"],
+        &[
+            "bugs",
+            "amortized_evals",
+            "per_bug_evals",
+            "amortized_latency",
+            "per_bug_latency",
+        ],
         &csv,
     )
     .expect("write amortization.csv");

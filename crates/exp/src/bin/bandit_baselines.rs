@@ -10,8 +10,8 @@
 use mwu_core::alternatives::{EpsilonGreedy, Exp3, HedgeConfig, HedgeMwu, Ucb1};
 use mwu_core::prelude::*;
 use mwu_core::stats::RunningStats;
-use mwu_experiments::{render_table, write_results_csv, CommonArgs};
 use mwu_datasets::catalog;
+use mwu_experiments::{render_table, write_results_csv, CommonArgs};
 
 fn main() {
     let args = CommonArgs::from_env();
@@ -26,7 +26,15 @@ fn main() {
     let mut csv = Vec::new();
     for d in &datasets {
         let k = d.size();
-        for alg_name in ["standard", "hedge", "slate", "exp3", "distributed", "epsilon-greedy", "ucb1"] {
+        for alg_name in [
+            "standard",
+            "hedge",
+            "slate",
+            "exp3",
+            "distributed",
+            "epsilon-greedy",
+            "ucb1",
+        ] {
             let mut iters = RunningStats::new();
             let mut pulls = RunningStats::new();
             let mut acc = RunningStats::new();
@@ -115,7 +123,15 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["dataset", "algorithm", "cycles", "pulls", "accuracy%", "cpus/cycle", "conv"],
+            &[
+                "dataset",
+                "algorithm",
+                "cycles",
+                "pulls",
+                "accuracy%",
+                "cpus/cycle",
+                "conv"
+            ],
             &rows
         )
     );
@@ -127,7 +143,15 @@ fn main() {
     let path = write_results_csv(
         &args.out_dir,
         "bandit_baselines.csv",
-        &["dataset", "algorithm", "cycles", "pulls", "accuracy", "cpus", "converged"],
+        &[
+            "dataset",
+            "algorithm",
+            "cycles",
+            "pulls",
+            "accuracy",
+            "cpus",
+            "converged",
+        ],
         &csv,
     )
     .expect("write bandit_baselines.csv");

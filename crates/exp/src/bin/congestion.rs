@@ -59,7 +59,13 @@ fn main() {
     let path = write_results_csv(
         &args.out_dir,
         "congestion.csv",
-        &["n", "theory", "distributed_measured", "star", "exceedance_3x"],
+        &[
+            "n",
+            "theory",
+            "distributed_measured",
+            "star",
+            "exceedance_3x",
+        ],
         &csv,
     )
     .expect("write congestion.csv");

@@ -25,8 +25,14 @@ fn main() {
     let k = 1024;
     let regimes: Vec<(&str, CostWeights)> = vec![
         ("two-term (α=β=1)", CostWeights::two_term(1.0, 1.0)),
-        ("communication-bound (α≫β)", CostWeights::communication_bound()),
-        ("APR regime (expensive evaluation, CPU-priced)", CostWeights::apr_regime()),
+        (
+            "communication-bound (α≫β)",
+            CostWeights::communication_bound(),
+        ),
+        (
+            "APR regime (expensive evaluation, CPU-priced)",
+            CostWeights::apr_regime(),
+        ),
         ("CPU-constrained", CostWeights::cpu_constrained()),
     ];
     let mut rows = Vec::new();
@@ -56,13 +62,21 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["regime (k = 1024)", "Standard", "Distributed", "Slate", "recommends"],
+            &[
+                "regime (k = 1024)",
+                "Standard",
+                "Distributed",
+                "Slate",
+                "recommends"
+            ],
             &rows
         )
     );
 
     // 3: crossover sweep over β/α with CPU price fixed.
-    println!("crossover sweep: β/α ratio (evaluation price vs. communication price), γ_cpu = 0.1\n");
+    println!(
+        "crossover sweep: β/α ratio (evaluation price vs. communication price), γ_cpu = 0.1\n"
+    );
     let mut sweep_rows = Vec::new();
     let mut sweep_csv = Vec::new();
     for exp in -3..=3 {

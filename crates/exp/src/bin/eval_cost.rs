@@ -24,7 +24,15 @@ fn main() {
     let mut rows = Vec::new();
     let mut csv = Vec::new();
     for &x in &[1usize, 8, 24, 48, 80, 128, 200] {
-        let full = mean_eval_cost(&scenario.world, &scenario.suite, &pool, None, x, trials, args.seed);
+        let full = mean_eval_cost(
+            &scenario.world,
+            &scenario.suite,
+            &pool,
+            None,
+            x,
+            trials,
+            args.seed,
+        );
         let suite_order = mean_eval_cost(
             &scenario.world,
             &scenario.suite,
@@ -82,7 +90,13 @@ fn main() {
     let path = write_results_csv(
         &args.out_dir,
         "eval_cost.csv",
-        &["x", "survival", "full_ms", "early_suite_order_ms", "early_cheapest_ms"],
+        &[
+            "x",
+            "survival",
+            "full_ms",
+            "early_suite_order_ms",
+            "early_cheapest_ms",
+        ],
         &csv,
     )
     .expect("write eval_cost.csv");

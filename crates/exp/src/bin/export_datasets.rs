@@ -2,8 +2,8 @@
 //! a summary), so the exact instances behind Tables II–IV can be inspected
 //! or replotted without rerunning any generator.
 
-use mwu_experiments::{render_table, write_results_csv, CommonArgs};
 use mwu_datasets::{full_catalog, io};
+use mwu_experiments::{render_table, write_results_csv, CommonArgs};
 use std::fs;
 
 fn main() {
@@ -41,14 +41,28 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["dataset", "family", "size", "best value", "best arm (1-based)", "mean value"],
+            &[
+                "dataset",
+                "family",
+                "size",
+                "best value",
+                "best arm (1-based)",
+                "mean value"
+            ],
             &rows
         )
     );
     let path = write_results_csv(
         &args.out_dir,
         "datasets_summary.csv",
-        &["dataset", "family", "size", "best_value", "best_arm", "mean_value"],
+        &[
+            "dataset",
+            "family",
+            "size",
+            "best_value",
+            "best_arm",
+            "mean_value",
+        ],
         &summary,
     )
     .expect("write summary");

@@ -22,15 +22,16 @@ fn main() {
     eprintln!("precomputing safe-mutation pool for {} ...", scenario.name);
     let pool = scenario.build_pool(args.seed, None);
 
-    let xs: Vec<usize> = (1..=9)
-        .chain((10..=100).step_by(5))
-        .collect();
+    let xs: Vec<usize> = (1..=9).chain((10..=100).step_by(5)).collect();
     eprintln!("estimating survival curves ({} trials/point)...", trials);
     let safe = survival_curve(&scenario, &pool, &xs, trials, args.seed);
     let raw_xs: Vec<usize> = (1..=10).collect();
     let raw = untested_survival_curve(&scenario, &raw_xs, trials, args.seed);
 
-    println!("Fig. 4a — fraction passing vs. #mutations ({} trials/point)\n", trials);
+    println!(
+        "Fig. 4a — fraction passing vs. #mutations ({} trials/point)\n",
+        trials
+    );
     let rows: Vec<Vec<String>> = safe
         .iter()
         .map(|p| {
@@ -48,8 +49,17 @@ fn main() {
     );
 
     // Paper-shape checks, reported explicitly.
-    let at = |x: usize| safe.iter().find(|p| p.x == x).map(|p| p.value).unwrap_or(0.0);
-    let raw2 = raw.iter().find(|p| p.x == 2).map(|p| p.value).unwrap_or(0.0);
+    let at = |x: usize| {
+        safe.iter()
+            .find(|p| p.x == x)
+            .map(|p| p.value)
+            .unwrap_or(0.0)
+    };
+    let raw2 = raw
+        .iter()
+        .find(|p| p.x == 2)
+        .map(|p| p.value)
+        .unwrap_or(0.0);
     println!("shape checks:");
     println!(
         "  survival at x=80 (safe): {:.3}  (paper: substantial — ≈0.5; slow decay)",
@@ -62,12 +72,25 @@ fn main() {
 
     let mut csv = Vec::new();
     for p in &safe {
-        csv.push(vec!["safe".to_string(), p.x.to_string(), format!("{:.6}", p.value)]);
+        csv.push(vec![
+            "safe".to_string(),
+            p.x.to_string(),
+            format!("{:.6}", p.value),
+        ]);
     }
     for p in &raw {
-        csv.push(vec!["untested".to_string(), p.x.to_string(), format!("{:.6}", p.value)]);
+        csv.push(vec![
+            "untested".to_string(),
+            p.x.to_string(),
+            format!("{:.6}", p.value),
+        ]);
     }
-    let path = write_results_csv(&args.out_dir, "fig4a.csv", &["series", "x", "fraction_passing"], &csv)
-        .expect("write fig4a.csv");
+    let path = write_results_csv(
+        &args.out_dir,
+        "fig4a.csv",
+        &["series", "x", "fraction_passing"],
+        &csv,
+    )
+    .expect("write fig4a.csv");
     eprintln!("wrote {}", path.display());
 }

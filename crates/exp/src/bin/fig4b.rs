@@ -25,7 +25,10 @@ fn main() {
         .iter()
         .map(|p| vec![p.x.to_string(), format!("{:.4}", p.value)])
         .collect();
-    println!("{}", render_table(&["x (mutations)", "repair density"], &rows));
+    println!(
+        "{}",
+        render_table(&["x (mutations)", "repair density"], &rows)
+    );
 
     let peak = curve_peak(&curve).unwrap_or(0);
     let analytic = scenario.density_optimum();

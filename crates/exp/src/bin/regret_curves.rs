@@ -10,8 +10,8 @@ use mwu_core::alternatives::{EpsilonGreedy, Exp3, HedgeConfig, HedgeMwu, Ucb1};
 use mwu_core::prelude::*;
 use mwu_core::regret::{run_with_regret, RegretCurve};
 use mwu_core::run::RunConfig;
-use mwu_experiments::{render_table, write_results_csv, CommonArgs};
 use mwu_datasets::catalog;
+use mwu_experiments::{render_table, write_results_csv, CommonArgs};
 
 fn main() {
     let args = CommonArgs::from_env();
@@ -26,7 +26,15 @@ fn main() {
     let mut csv = Vec::new();
     for d in &datasets {
         let k = d.size();
-        for name in ["standard", "hedge", "slate", "exp3", "distributed", "epsilon-greedy", "ucb1"] {
+        for name in [
+            "standard",
+            "hedge",
+            "slate",
+            "exp3",
+            "distributed",
+            "epsilon-greedy",
+            "ucb1",
+        ] {
             let cfg = RunConfig {
                 max_iterations: horizon,
                 seed: mwu_core::rng::mix(&[args.seed, k as u64]),
@@ -47,8 +55,7 @@ fn main() {
                     run_with_regret(&mut a, &mut bandit, &cfg)
                 }
                 "distributed" => {
-                    let mut a =
-                        DistributedMwu::try_new(k, DistributedConfig::default()).unwrap();
+                    let mut a = DistributedMwu::try_new(k, DistributedConfig::default()).unwrap();
                     run_with_regret(&mut a, &mut bandit, &cfg)
                 }
                 "exp3" => {
@@ -83,7 +90,15 @@ fn main() {
 
     println!("policy regret Σ pᵢ(v*−vᵢ) at update-cycle checkpoints (horizon {horizon})\n");
     let header = [
-        "dataset", "algorithm", "t=1", "t=10", "t=50", "t=200", "t=1000", "t=1999", "tail mean",
+        "dataset",
+        "algorithm",
+        "t=1",
+        "t=10",
+        "t=50",
+        "t=200",
+        "t=1000",
+        "t=1999",
+        "tail mean",
     ];
     println!("{}", render_table(&header, &rows));
     println!("reading: all learners start at the uniform policy's regret and drive");

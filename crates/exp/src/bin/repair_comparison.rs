@@ -85,30 +85,91 @@ fn main() {
                 let min = minimize_patch(s, &patch.mutations, None);
                 patch_sizes.push((patch.mutations.len(), min.mutations.len()));
             }
-            record(&mut totals[0], out.is_repaired(), ledger.fitness_evals(), ledger.critical_path_ms());
-            push_row(&mut csv, &s.name, rep, "mwrepair", out.is_repaired(), ledger.fitness_evals(), ledger.critical_path_ms());
+            record(
+                &mut totals[0],
+                out.is_repaired(),
+                ledger.fitness_evals(),
+                ledger.critical_path_ms(),
+            );
+            push_row(
+                &mut csv,
+                &s.name,
+                rep,
+                "mwrepair",
+                out.is_repaired(),
+                ledger.fitness_evals(),
+                ledger.critical_path_ms(),
+            );
 
             // GenProg.
             let ledger = CostLedger::new();
-            let gp = GenProg::new(GenProgConfig::default())
-                .run(s, &SearchBudget::new(budget_evals, seed), Some(&ledger));
-            record(&mut totals[1], gp.is_repaired(), gp.evals, ledger.critical_path_ms());
-            push_row(&mut csv, &s.name, rep, "genprog", gp.is_repaired(), gp.evals, ledger.critical_path_ms());
+            let gp = GenProg::new(GenProgConfig::default()).run(
+                s,
+                &SearchBudget::new(budget_evals, seed),
+                Some(&ledger),
+            );
+            record(
+                &mut totals[1],
+                gp.is_repaired(),
+                gp.evals,
+                ledger.critical_path_ms(),
+            );
+            push_row(
+                &mut csv,
+                &s.name,
+                rep,
+                "genprog",
+                gp.is_repaired(),
+                gp.evals,
+                ledger.critical_path_ms(),
+            );
 
             // RSRepair.
             let ledger = CostLedger::new();
-            let rs = RandomSearch::default()
-                .run(s, &SearchBudget::new(budget_evals, seed), Some(&ledger));
-            record(&mut totals[2], rs.is_repaired(), rs.evals, ledger.critical_path_ms());
-            push_row(&mut csv, &s.name, rep, "rsrepair", rs.is_repaired(), rs.evals, ledger.critical_path_ms());
+            let rs = RandomSearch::default().run(
+                s,
+                &SearchBudget::new(budget_evals, seed),
+                Some(&ledger),
+            );
+            record(
+                &mut totals[2],
+                rs.is_repaired(),
+                rs.evals,
+                ledger.critical_path_ms(),
+            );
+            push_row(
+                &mut csv,
+                &s.name,
+                rep,
+                "rsrepair",
+                rs.is_repaired(),
+                rs.evals,
+                ledger.critical_path_ms(),
+            );
 
             // AE (deterministic; one run is representative, but re-run per
             // rep for uniform accounting — identical outcomes).
             let ledger = CostLedger::new();
-            let ae = AdaptiveSearch::default()
-                .run(s, &SearchBudget::new(budget_evals, seed), Some(&ledger));
-            record(&mut totals[3], ae.is_repaired(), ae.evals, ledger.critical_path_ms());
-            push_row(&mut csv, &s.name, rep, "ae", ae.is_repaired(), ae.evals, ledger.critical_path_ms());
+            let ae = AdaptiveSearch::default().run(
+                s,
+                &SearchBudget::new(budget_evals, seed),
+                Some(&ledger),
+            );
+            record(
+                &mut totals[3],
+                ae.is_repaired(),
+                ae.evals,
+                ledger.critical_path_ms(),
+            );
+            push_row(
+                &mut csv,
+                &s.name,
+                rep,
+                "ae",
+                ae.is_repaired(),
+                ae.evals,
+                ledger.critical_path_ms(),
+            );
         }
     }
 
@@ -129,13 +190,16 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["algorithm", "repaired", "mean fitness evals", "mean latency (sim ms)"],
+            &[
+                "algorithm",
+                "repaired",
+                "mean fitness evals",
+                "mean latency (sim ms)"
+            ],
             &rows
         )
     );
-    println!(
-        "\nMWRepair one-time precompute (amortized over all bugs of a program):"
-    );
+    println!("\nMWRepair one-time precompute (amortized over all bugs of a program):");
     println!(
         "  {} candidate evaluations total across the {} programs, critical-path {} sim-ms",
         precompute_evals_sum,
@@ -175,7 +239,14 @@ fn main() {
     let path = write_results_csv(
         &args.out_dir,
         "repair_comparison.csv",
-        &["scenario", "rep", "algorithm", "repaired", "fitness_evals", "latency_ms"],
+        &[
+            "scenario",
+            "rep",
+            "algorithm",
+            "repaired",
+            "fitness_evals",
+            "latency_ms",
+        ],
         &csv,
     )
     .expect("write repair_comparison.csv");

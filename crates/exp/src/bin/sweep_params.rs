@@ -11,8 +11,8 @@
 use mwu_core::prelude::*;
 use mwu_core::stats::RunningStats;
 use mwu_core::LearningRate;
-use mwu_experiments::{render_table, write_results_csv, CommonArgs};
 use mwu_datasets::catalog;
+use mwu_experiments::{render_table, write_results_csv, CommonArgs};
 
 struct SweepPoint {
     variant: &'static str,
@@ -161,7 +161,15 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["variant", "param", "value", "dataset", "iters", "accuracy%", "conv frac"],
+            &[
+                "variant",
+                "param",
+                "value",
+                "dataset",
+                "iters",
+                "accuracy%",
+                "conv frac"
+            ],
             &rows
         )
     );
@@ -173,7 +181,15 @@ fn main() {
     let path = write_results_csv(
         &args.out_dir,
         "sweep_params.csv",
-        &["variant", "param", "value", "dataset", "iterations", "accuracy", "converged_frac"],
+        &[
+            "variant",
+            "param",
+            "value",
+            "dataset",
+            "iterations",
+            "accuracy",
+            "converged_frac",
+        ],
         &csv,
     )
     .expect("write sweep_params.csv");

@@ -13,7 +13,24 @@
 
 use mwu_core::cost::prob_worst_case_hit;
 use mwu_experiments::{render_table, write_results_csv, CommonArgs};
-use simnet::{SyncMode, ThreadPool};
+use simnet::{RoundEvent, RoundObserver, SyncMode, ThreadPool};
+use std::time::Duration;
+
+/// Accumulates per-round barrier stall from the executor's telemetry.
+#[derive(Default)]
+struct StallStats {
+    total: Duration,
+    worst: Duration,
+    rounds: u32,
+}
+
+impl RoundObserver for StallStats {
+    fn on_round(&mut self, event: RoundEvent) {
+        self.total += event.stall;
+        self.worst = self.worst.max(event.stall);
+        self.rounds += 1;
+    }
+}
 
 fn main() {
     let args = CommonArgs::from_env();
@@ -26,7 +43,10 @@ fn main() {
         rows.push(vec![m.to_string(), format!("{:.4}", p)]);
         csv.push(vec![m.to_string(), format!("{:.6}", p)]);
     }
-    println!("{}", render_table(&["threads", "P[worst-decile hit]"], &rows));
+    println!(
+        "{}",
+        render_table(&["threads", "P[worst-decile hit]"], &rows)
+    );
     println!("paper example: 64 threads ⇒ ≈ 0.999\n");
 
     println!("§III-C part 2 — measured barrier stall (real threads)\n");
@@ -42,7 +62,8 @@ fn main() {
         let micros = 10 + h % 991;
         simnet::executor::spin_for_micros(micros);
     };
-    let barrier = pool.run_rounds(rounds, SyncMode::Barrier, work);
+    let mut stalls = StallStats::default();
+    let barrier = pool.run_rounds_observed(rounds, SyncMode::Barrier, work, &mut stalls);
     let free = pool.run_rounds(rounds, SyncMode::Free, work);
     let eff_barrier = barrier.efficiency(threads);
     let eff_free = free.efficiency(threads);
@@ -66,7 +87,19 @@ fn main() {
         "efficiency ratio barrier/free = {:.2}  (paper: ≈ 0.5 — \"about half the efficiency\")",
         eff_barrier / eff_free.max(1e-9)
     );
-    if std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1) < threads {
+    if stalls.rounds > 0 {
+        println!(
+            "barrier stall: mean {:?}/round across {} threads, worst round {:?}",
+            stalls.total / stalls.rounds,
+            threads,
+            stalls.worst
+        );
+    }
+    if std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        < threads
+    {
         println!(
             "note: host exposes fewer than {threads} cores; the barrier stall is still
 visible but the free-running efficiency is depressed by time-slicing."

@@ -80,7 +80,15 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["k", "variant", "n", "comm", "memory", "convergence", "min agents"],
+            &[
+                "k",
+                "variant",
+                "n",
+                "comm",
+                "memory",
+                "convergence",
+                "min agents"
+            ],
             &rows
         )
     );
@@ -88,7 +96,15 @@ fn main() {
     let path = write_results_csv(
         &args.out_dir,
         "table1.csv",
-        &["k", "variant", "n", "communication", "memory", "convergence_time", "min_agents"],
+        &[
+            "k",
+            "variant",
+            "n",
+            "communication",
+            "memory",
+            "convergence_time",
+            "min_agents",
+        ],
         &csv_rows,
     )
     .expect("write table1.csv");

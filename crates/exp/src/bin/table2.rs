@@ -3,7 +3,7 @@
 
 use mwu_core::Variant;
 use mwu_datasets::full_catalog;
-use mwu_experiments::{render_table, run_grid, write_results_csv, CommonArgs, GridConfig};
+use mwu_experiments::{render_table, run_grid_observed, write_results_csv, CommonArgs, GridConfig};
 
 fn main() {
     let args = CommonArgs::from_env();
@@ -16,12 +16,18 @@ fn main() {
         max_iterations: 10_000,
         seed: args.seed,
     };
-    eprintln!(
-        "Table II grid: {} datasets x 3 algorithms x {} replicates",
-        datasets.len(),
-        config.replicates
-    );
-    let cells = run_grid(&datasets, &config);
+    if !args.quiet {
+        eprintln!(
+            "Table II grid: {} datasets x 3 algorithms x {} replicates",
+            datasets.len(),
+            config.replicates
+        );
+    }
+    let mut observer = args.observer();
+    let cells = run_grid_observed(&datasets, &config, &mut observer);
+    if let Some(sink) = observer.0.as_mut() {
+        sink.flush().expect("flush trace");
+    }
 
     let mut rows = Vec::new();
     let mut csv = Vec::new();
@@ -74,9 +80,19 @@ fn main() {
     let path = write_results_csv(
         &args.out_dir,
         "table2.csv",
-        &["scenario", "size", "algorithm", "iterations_mean", "iterations_std", "converged", "replicates"],
+        &[
+            "scenario",
+            "size",
+            "algorithm",
+            "iterations_mean",
+            "iterations_std",
+            "converged",
+            "replicates",
+        ],
         &csv,
     )
     .expect("write table2.csv");
-    eprintln!("wrote {}", path.display());
+    if !args.quiet {
+        eprintln!("wrote {}", path.display());
+    }
 }

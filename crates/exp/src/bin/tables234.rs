@@ -10,7 +10,9 @@
 
 use mwu_core::Variant;
 use mwu_datasets::full_catalog;
-use mwu_experiments::{render_table, run_grid, write_results_csv, CellResult, CommonArgs, GridConfig};
+use mwu_experiments::{
+    render_table, run_grid_observed, write_results_csv, CellResult, CommonArgs, GridConfig,
+};
 
 fn cell<'a>(cells: &'a [CellResult], dataset: &str, alg: Variant) -> &'a CellResult {
     cells
@@ -30,12 +32,18 @@ fn main() {
         max_iterations: 10_000,
         seed: args.seed,
     };
-    eprintln!(
-        "grid: {} datasets x 3 algorithms x {} replicates (single pass)",
-        datasets.len(),
-        config.replicates
-    );
-    let cells = run_grid(&datasets, &config);
+    if !args.quiet {
+        eprintln!(
+            "grid: {} datasets x 3 algorithms x {} replicates (single pass)",
+            datasets.len(),
+            config.replicates
+        );
+    }
+    let mut observer = args.observer();
+    let cells = run_grid_observed(&datasets, &config, &mut observer);
+    if let Some(sink) = observer.0.as_mut() {
+        sink.flush().expect("flush trace");
+    }
     let algs = [Variant::Standard, Variant::Distributed, Variant::Slate];
 
     // ---- Table II ----
@@ -56,7 +64,11 @@ fn main() {
                 d.name.clone(),
                 d.size().to_string(),
                 a.to_string(),
-                if c.intractable { "intractable".into() } else { format!("{:.2}", c.iterations.mean) },
+                if c.intractable {
+                    "intractable".into()
+                } else {
+                    format!("{:.2}", c.iterations.mean)
+                },
                 format!("{:.2}", c.iterations.std_dev),
                 c.converged.to_string(),
                 c.replicates.to_string(),
@@ -70,7 +82,10 @@ fn main() {
     );
     println!(
         "{}",
-        render_table(&["scenario", "size", "Standard", "Distributed", "Slate"], &rows2)
+        render_table(
+            &["scenario", "size", "Standard", "Distributed", "Slate"],
+            &rows2
+        )
     );
 
     // ---- Table III ----
@@ -91,7 +106,11 @@ fn main() {
                 d.name.clone(),
                 d.size().to_string(),
                 a.to_string(),
-                if c.intractable { "intractable".into() } else { format!("{:.2}", c.accuracy.mean) },
+                if c.intractable {
+                    "intractable".into()
+                } else {
+                    format!("{:.2}", c.accuracy.mean)
+                },
                 format!("{:.2}", c.accuracy.std_dev),
             ]);
         }
@@ -103,7 +122,10 @@ fn main() {
     );
     println!(
         "{}",
-        render_table(&["scenario", "size", "Standard", "Distributed", "Slate"], &rows3)
+        render_table(
+            &["scenario", "size", "Standard", "Distributed", "Slate"],
+            &rows3
+        )
     );
     println!("shape check: minimum cell mean accuracy = {min_acc:.1}%  (paper: ≥ 90%)");
 
@@ -123,36 +145,68 @@ fn main() {
                 d.name.clone(),
                 d.size().to_string(),
                 a.to_string(),
-                if c.intractable { "intractable".into() } else { format!("{:.0}", c.cpu_iterations.mean) },
+                if c.intractable {
+                    "intractable".into()
+                } else {
+                    format!("{:.0}", c.cpu_iterations.mean)
+                },
                 format!("{:.0}", c.cpu_iterations.std_dev),
             ]);
         }
         rows4.push(row);
     }
-    println!("\nTable IV — cost in CPU-iterations (mean over {} replicates)\n", config.replicates);
+    println!(
+        "\nTable IV — cost in CPU-iterations (mean over {} replicates)\n",
+        config.replicates
+    );
     println!(
         "{}",
-        render_table(&["scenario", "size", "Standard", "Distributed", "Slate"], &rows4)
+        render_table(
+            &["scenario", "size", "Standard", "Distributed", "Slate"],
+            &rows4
+        )
     );
 
     for (name, header, rows) in [
         (
             "table2.csv",
-            vec!["scenario", "size", "algorithm", "iterations_mean", "iterations_std", "converged", "replicates"],
+            vec![
+                "scenario",
+                "size",
+                "algorithm",
+                "iterations_mean",
+                "iterations_std",
+                "converged",
+                "replicates",
+            ],
             csv2,
         ),
         (
             "table3.csv",
-            vec!["scenario", "size", "algorithm", "accuracy_mean", "accuracy_std"],
+            vec![
+                "scenario",
+                "size",
+                "algorithm",
+                "accuracy_mean",
+                "accuracy_std",
+            ],
             csv3,
         ),
         (
             "table4.csv",
-            vec!["scenario", "size", "algorithm", "cpu_iterations_mean", "cpu_iterations_std"],
+            vec![
+                "scenario",
+                "size",
+                "algorithm",
+                "cpu_iterations_mean",
+                "cpu_iterations_std",
+            ],
             csv4,
         ),
     ] {
         let path = write_results_csv(&args.out_dir, name, &header, &rows).expect("write csv");
-        eprintln!("wrote {}", path.display());
+        if !args.quiet {
+            eprintln!("wrote {}", path.display());
+        }
     }
 }

@@ -17,6 +17,12 @@ pub struct CommonArgs {
     /// Restrict to datasets whose name contains this substring
     /// (`--only SUBSTR`).
     pub only: Option<String>,
+    /// Write a JSONL run trace to this path (`--trace PATH`). Every grid
+    /// replicate's trace header carries its derived seed, so any replicate
+    /// can be re-run standalone from the trace alone.
+    pub trace: Option<PathBuf>,
+    /// Suppress stderr progress narration (`--quiet`).
+    pub quiet: bool,
 }
 
 impl Default for CommonArgs {
@@ -27,6 +33,8 @@ impl Default for CommonArgs {
             out_dir: PathBuf::from("results"),
             fast: false,
             only: None,
+            trace: None,
+            quiet: false,
         }
     }
 }
@@ -43,9 +51,7 @@ impl CommonArgs {
             match arg.as_str() {
                 "--replicates" => {
                     let v = it.next().ok_or("--replicates needs a value")?;
-                    out.replicates = v
-                        .parse()
-                        .map_err(|e| format!("--replicates {v:?}: {e}"))?;
+                    out.replicates = v.parse().map_err(|e| format!("--replicates {v:?}: {e}"))?;
                     if out.replicates == 0 {
                         return Err("--replicates must be positive".into());
                     }
@@ -65,11 +71,17 @@ impl CommonArgs {
                     let v = it.next().ok_or("--only needs a value")?;
                     out.only = Some(v);
                 }
+                "--trace" => {
+                    let v = it.next().ok_or("--trace needs a path")?;
+                    out.trace = Some(PathBuf::from(v));
+                }
+                "--quiet" => {
+                    out.quiet = true;
+                }
                 "--help" | "-h" => {
-                    return Err(
-                        "flags: --replicates N | --seed S | --out DIR | --fast | --only SUBSTR"
-                            .into(),
-                    )
+                    return Err("flags: --replicates N | --seed S | --out DIR | --fast | \
+                         --only SUBSTR | --trace PATH | --quiet"
+                        .into())
                 }
                 other => return Err(format!("unknown flag {other:?} (try --help)")),
             }
@@ -97,6 +109,27 @@ impl CommonArgs {
             Some(s) => name.contains(s.as_str()),
             None => true,
         }
+    }
+
+    /// Build the observer this invocation asked for — a JSONL trace sink
+    /// when `--trace` was given, teed with progress narration unless
+    /// `--quiet`. Binaries drive their grid through the returned observer.
+    pub fn observer(
+        &self,
+    ) -> mwu_core::trace::Tee<
+        Option<mwu_core::JsonlSink<std::io::BufWriter<std::fs::File>>>,
+        mwu_core::ProgressSink,
+    > {
+        let jsonl = self.trace.as_deref().map(|p| {
+            if let Some(parent) = p.parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent).expect("create trace directory");
+                }
+            }
+            mwu_core::JsonlSink::create(p)
+                .unwrap_or_else(|e| panic!("cannot create trace file {}: {e}", p.display()))
+        });
+        mwu_core::trace::Tee(jsonl, mwu_core::ProgressSink::quiet(self.quiet))
     }
 }
 

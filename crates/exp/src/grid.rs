@@ -2,9 +2,12 @@
 //! Tables II, III and IV.
 
 use mwu_core::stats::{RunningStats, Summary};
+use mwu_core::trace::{
+    CellEndEvent, CellStartEvent, NullObserver, Observer, ProgressSink, ReplicateEvent,
+};
 use mwu_core::{
-    run_to_convergence, DistributedConfig, DistributedMwu, RunConfig,
-    SlateConfig, SlateMwu, StandardConfig, StandardMwu, Variant,
+    run_to_convergence, DistributedConfig, DistributedMwu, RunConfig, RunOutcome, SlateConfig,
+    SlateMwu, StandardConfig, StandardMwu, Variant,
 };
 use mwu_datasets::Dataset;
 use rayon::prelude::*;
@@ -81,30 +84,57 @@ impl CellResult {
 /// `dataset`. Replicates are distributed over rayon workers; each derives a
 /// deterministic seed so results are independent of scheduling.
 pub fn run_cell(algorithm: Variant, dataset: &Dataset, config: &GridConfig) -> CellResult {
-    let k = dataset.size();
-    if algorithm == Variant::Distributed && !DistributedConfig::default().is_tractable(k) {
-        return CellResult::intractable_cell(algorithm, dataset);
-    }
+    run_cell_observed(algorithm, dataset, config, &mut NullObserver)
+}
 
-    struct Rep {
-        iterations: f64,
-        accuracy: f64,
-        cpu_iterations: f64,
-        converged: bool,
-        peak_congestion: f64,
-    }
-
+/// The seed replicate `r` of `algorithm` on `dataset` runs under — derived
+/// exactly as [`run_cell`] derives it, and recorded in each replicate's
+/// [`ReplicateEvent`] trace header so the replicate can be re-run alone.
+pub fn replicate_seed(algorithm: Variant, dataset: &Dataset, base_seed: u64, r: u64) -> u64 {
     let alg_tag = match algorithm {
         Variant::Standard => 1u64,
         Variant::Slate => 2,
         Variant::Distributed => 3,
     };
     let data_tag = mwu_core::rng::mix(&[dataset.size() as u64, dataset.best_arm() as u64]);
+    mwu_core::rng::mix(&[base_seed, alg_tag, data_tag, r])
+}
 
-    let reps: Vec<Rep> = (0..config.replicates as u64)
+/// [`run_cell`] with telemetry: a [`CellStartEvent`], one [`ReplicateEvent`]
+/// per replicate (in replicate order, after the parallel phase joins, so
+/// traces are scheduling-independent), and a [`CellEndEvent`].
+pub fn run_cell_observed<O: Observer>(
+    algorithm: Variant,
+    dataset: &Dataset,
+    config: &GridConfig,
+    observer: &mut O,
+) -> CellResult {
+    let k = dataset.size();
+    if observer.enabled() {
+        observer.on_cell_start(CellStartEvent {
+            algorithm: algorithm.to_string(),
+            dataset: dataset.name.clone(),
+            size: k,
+            replicates: config.replicates,
+        });
+    }
+    if algorithm == Variant::Distributed && !DistributedConfig::default().is_tractable(k) {
+        if observer.enabled() {
+            observer.on_cell_end(CellEndEvent {
+                algorithm: algorithm.to_string(),
+                dataset: dataset.name.clone(),
+                converged: 0,
+                replicates: 0,
+                intractable: true,
+            });
+        }
+        return CellResult::intractable_cell(algorithm, dataset);
+    }
+
+    let outcomes: Vec<(u64, u64, RunOutcome)> = (0..config.replicates as u64)
         .into_par_iter()
         .map(|r| {
-            let run_seed = mwu_core::rng::mix(&[config.seed, alg_tag, data_tag, r]);
+            let run_seed = replicate_seed(algorithm, dataset, config.seed, r);
             let mut bandit = dataset.bandit();
             let run_cfg = RunConfig {
                 max_iterations: config.max_iterations,
@@ -126,13 +156,7 @@ pub fn run_cell(algorithm: Variant, dataset: &Dataset, config: &GridConfig) -> C
                     run_to_convergence(&mut alg, &mut bandit, &run_cfg)
                 }
             };
-            Rep {
-                iterations: outcome.iterations as f64,
-                accuracy: dataset.accuracy_of(outcome.leader),
-                cpu_iterations: outcome.cpu_iterations as f64,
-                converged: outcome.converged,
-                peak_congestion: outcome.comm.peak_congestion as f64,
-            }
+            (r, run_seed, outcome)
         })
         .collect();
 
@@ -141,14 +165,34 @@ pub fn run_cell(algorithm: Variant, dataset: &Dataset, config: &GridConfig) -> C
     let mut cpu_iterations = RunningStats::new();
     let mut peak_congestion = RunningStats::new();
     let mut converged = 0u64;
-    for rep in &reps {
-        iterations.push(rep.iterations);
-        accuracy.push(rep.accuracy);
-        cpu_iterations.push(rep.cpu_iterations);
-        peak_congestion.push(rep.peak_congestion);
-        if rep.converged {
+    for (r, run_seed, outcome) in &outcomes {
+        iterations.push(outcome.iterations as f64);
+        accuracy.push(dataset.accuracy_of(outcome.leader));
+        cpu_iterations.push(outcome.cpu_iterations as f64);
+        peak_congestion.push(outcome.comm.peak_congestion as f64);
+        if outcome.converged {
             converged += 1;
         }
+        if observer.enabled() {
+            observer.on_replicate(ReplicateEvent {
+                algorithm: algorithm.to_string(),
+                dataset: dataset.name.clone(),
+                replicate: *r,
+                run_seed: *run_seed,
+                max_iterations: config.max_iterations,
+                outcome: outcome.clone(),
+            });
+        }
+    }
+
+    if observer.enabled() {
+        observer.on_cell_end(CellEndEvent {
+            algorithm: algorithm.to_string(),
+            dataset: dataset.name.clone(),
+            converged,
+            replicates: config.replicates as u64,
+            intractable: false,
+        });
     }
 
     CellResult {
@@ -166,18 +210,25 @@ pub fn run_cell(algorithm: Variant, dataset: &Dataset, config: &GridConfig) -> C
 }
 
 /// Run the full grid: every algorithm on every dataset, in the paper's
-/// column order (Standard, Distributed, Slate).
+/// column order (Standard, Distributed, Slate), narrating progress to
+/// stderr via [`ProgressSink`].
 pub fn run_grid(datasets: &[Dataset], config: &GridConfig) -> Vec<CellResult> {
+    run_grid_observed(datasets, config, &mut ProgressSink::new())
+}
+
+/// [`run_grid`] with telemetry delivered to `observer`. Pass a
+/// [`mwu_core::trace::JsonlSink`] to capture a machine-readable trace, a
+/// [`ProgressSink`] for stderr narration, or a [`mwu_core::trace::Tee`] of
+/// both.
+pub fn run_grid_observed<O: Observer>(
+    datasets: &[Dataset],
+    config: &GridConfig,
+    observer: &mut O,
+) -> Vec<CellResult> {
     let mut out = Vec::with_capacity(datasets.len() * 3);
     for dataset in datasets {
         for &alg in &[Variant::Standard, Variant::Distributed, Variant::Slate] {
-            eprintln!(
-                "  running {} on {} ({} reps)...",
-                alg,
-                dataset.name,
-                config.replicates
-            );
-            out.push(run_cell(alg, dataset, config));
+            out.push(run_cell_observed(alg, dataset, config, &mut *observer));
         }
     }
     out

@@ -29,5 +29,8 @@ pub mod social;
 pub mod tables;
 
 pub use cli::CommonArgs;
-pub use grid::{run_cell, run_grid, CellResult, GridConfig};
+pub use grid::{
+    replicate_seed, run_cell, run_cell_observed, run_grid, run_grid_observed, CellResult,
+    GridConfig,
+};
 pub use tables::{render_table, write_results_csv};

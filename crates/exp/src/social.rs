@@ -53,9 +53,8 @@ pub fn run_distributed_on_simnet(values: &[f64], config: &SocialRunConfig) -> So
     assert!(!values.is_empty());
     assert!(config.population >= values.len());
     let k = values.len();
-    let choices: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(
-        (0..config.population).map(|j| j % k).collect(),
-    ));
+    let choices: Arc<Mutex<Vec<usize>>> =
+        Arc::new(Mutex::new((0..config.population).map(|j| j % k).collect()));
 
     let mut net = Network::new(config.population, mix(&[config.seed, 0x0050_C1A1]));
     for _ in 0..config.population {
@@ -109,9 +108,7 @@ mod tests {
     use super::*;
 
     fn bump_values(k: usize, best: usize) -> Vec<f64> {
-        (0..k)
-            .map(|i| if i == best { 0.9 } else { 0.1 })
-            .collect()
+        (0..k).map(|i| if i == best { 0.9 } else { 0.1 }).collect()
     }
 
     fn config(population: usize, rounds: usize) -> SocialRunConfig {
@@ -182,7 +179,10 @@ mod tests {
             &RunConfig::seeded(9).with_max_iterations(100),
         );
 
-        assert_eq!(report.leader, out.leader, "implementations disagree on the leader");
+        assert_eq!(
+            report.leader, out.leader,
+            "implementations disagree on the leader"
+        );
         // Congestion profiles agree within a small factor.
         let tight = out.comm.mean_congestion();
         let message_based = report.net.mean_congestion();

@@ -99,13 +99,8 @@ mod tests {
     #[test]
     fn csv_written_to_disk() {
         let dir = std::env::temp_dir().join("mwu_exp_test_csv");
-        let p = write_results_csv(
-            &dir,
-            "t.csv",
-            &["x"],
-            &[vec!["1".into()], vec!["2".into()]],
-        )
-        .unwrap();
+        let p = write_results_csv(&dir, "t.csv", &["x"], &[vec!["1".into()], vec!["2".into()]])
+            .unwrap();
         let content = std::fs::read_to_string(&p).unwrap();
         assert_eq!(content, "x\n1\n2\n");
         let _ = std::fs::remove_dir_all(&dir);

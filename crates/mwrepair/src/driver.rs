@@ -26,9 +26,13 @@
 use crate::report::{RepairOutcome, RepairReport};
 use apr_sim::{BugScenario, CostLedger, Mutation, MutationPool};
 use mwu_core::rng::mix;
+use mwu_core::trace::{
+    CommDelta, ConvergenceEvent, IterationEvent, NullObserver, Observer, ProbeEvent, RepairEvent,
+    RewardSummary, RunStartEvent,
+};
 use mwu_core::{
-    DistributedConfig, DistributedMwu, MwuAlgorithm, SlateConfig, SlateMwu, StandardConfig,
-    StandardMwu,
+    DistributedConfig, DistributedMwu, MwuAlgorithm, RunOutcome, SlateConfig, SlateMwu,
+    StandardConfig, StandardMwu,
 };
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -110,6 +114,22 @@ pub fn repair_with_ledger<A: MwuAlgorithm>(
     config: &MwRepairConfig,
     ledger: Option<&CostLedger>,
 ) -> RepairOutcome {
+    repair_observed(scenario, pool, alg, config, ledger, &mut NullObserver)
+}
+
+/// [`repair_with_ledger`] with run telemetry delivered to `observer`:
+/// one [`ProbeEvent`] per agent probe (composition size, pool hit, reward),
+/// a [`RepairEvent`] when a probe repairs, per-cycle [`IterationEvent`]s,
+/// and a run footer. Event construction is gated on `observer.enabled()`,
+/// so the [`NullObserver`] path is the pre-telemetry loop.
+pub fn repair_observed<A: MwuAlgorithm, O: Observer>(
+    scenario: &BugScenario,
+    pool: &MutationPool,
+    alg: &mut A,
+    config: &MwRepairConfig,
+    ledger: Option<&CostLedger>,
+    observer: &mut O,
+) -> RepairOutcome {
     assert!(!pool.is_empty(), "online phase needs a non-empty pool");
     let arms = effective_arms(pool.len(), config);
     assert_eq!(
@@ -122,8 +142,24 @@ pub fn repair_with_ledger<A: MwuAlgorithm>(
     let mut probes_total: u64 = 0;
     let mut found: Option<RepairReport> = None;
     let mut iterations = 0;
+    let mut convergence_reported = false;
+
+    if observer.enabled() {
+        observer.on_run_start(RunStartEvent {
+            algorithm: alg.name(),
+            num_arms: arms,
+            cpus_per_iteration: alg.cpus_per_iteration(),
+            seed: config.seed,
+            max_iterations: config.max_iterations,
+        });
+    }
 
     'outer: for t in 0..config.max_iterations {
+        let comm_before = if observer.enabled() {
+            alg.comm_stats()
+        } else {
+            mwu_core::CommStats::default()
+        };
         let plan = alg.plan(&mut rng);
         iterations = t + 1;
         probes_total += plan.len() as u64;
@@ -133,6 +169,7 @@ pub fn repair_with_ledger<A: MwuAlgorithm>(
         // the outcome is independent of rayon's scheduling.
         struct ProbeResult {
             reward: f64,
+            survived: bool,
             repair: Option<Vec<Mutation>>,
             cost_ms: u64,
             arm: usize,
@@ -143,8 +180,7 @@ pub fn repair_with_ledger<A: MwuAlgorithm>(
             .enumerate()
             .map(|(agent, &arm)| {
                 let x = arm + 1;
-                let mut agent_rng =
-                    SmallRng::seed_from_u64(mix(&[seed, t as u64, agent as u64]));
+                let mut agent_rng = SmallRng::seed_from_u64(mix(&[seed, t as u64, agent as u64]));
                 let comp = pool.sample_composition(x.min(pool.len()), &mut agent_rng);
                 let out = scenario.evaluate(&comp, ledger);
                 let reward = match config.reward {
@@ -165,6 +201,7 @@ pub fn repair_with_ledger<A: MwuAlgorithm>(
                 };
                 ProbeResult {
                     reward,
+                    survived: out.survived,
                     repair: if out.repaired { Some(comp) } else { None },
                     cost_ms: out.cost_ms,
                     arm,
@@ -178,6 +215,19 @@ pub fn repair_with_ledger<A: MwuAlgorithm>(
             l.record_parallel_phase(max_ms);
         }
 
+        // Probes report in agent order, regardless of parallel scheduling.
+        if observer.enabled() {
+            for (agent, r) in results.iter().enumerate() {
+                observer.on_probe(ProbeEvent {
+                    iteration: t + 1,
+                    agent,
+                    composition_size: r.arm + 1,
+                    survived: r.survived,
+                    reward: r.reward,
+                });
+            }
+        }
+
         // Early termination: first (lowest agent index) repairing probe.
         for (agent, r) in results.iter().enumerate() {
             if let Some(muts) = &r.repair {
@@ -187,12 +237,52 @@ pub fn repair_with_ledger<A: MwuAlgorithm>(
                     iteration: t + 1,
                     agent,
                 });
+                if observer.enabled() {
+                    observer.on_repair(RepairEvent {
+                        iteration: t + 1,
+                        agent,
+                        composition_size: r.arm + 1,
+                    });
+                }
                 break 'outer;
             }
         }
 
         let rewards: Vec<f64> = results.iter().map(|r| r.reward).collect();
         alg.update(&rewards, &mut rng);
+
+        if observer.enabled() {
+            observer.on_iteration(IterationEvent {
+                iteration: t + 1,
+                leader: alg.leader(),
+                leader_share: alg.leader_share(),
+                entropy: mwu_core::trace::entropy(&alg.probabilities()),
+                comm: CommDelta::between(&comm_before, &alg.comm_stats()),
+                reward: RewardSummary::of(&rewards),
+            });
+            if alg.has_converged() && !convergence_reported {
+                convergence_reported = true;
+                observer.on_convergence(ConvergenceEvent {
+                    iteration: t + 1,
+                    leader: alg.leader(),
+                    leader_share: alg.leader_share(),
+                });
+            }
+        }
+    }
+
+    if observer.enabled() {
+        observer.on_run_end(RunOutcome {
+            algorithm: alg.name(),
+            iterations,
+            converged: alg.has_converged(),
+            leader: alg.leader(),
+            leader_share: alg.leader_share(),
+            cpu_iterations: iterations as u64 * alg.cpus_per_iteration() as u64,
+            pulls: probes_total,
+            comm: alg.comm_stats(),
+            cpus_per_iteration: alg.cpus_per_iteration(),
+        });
     }
 
     RepairOutcome {
@@ -289,7 +379,11 @@ mod tests {
         let (s, pool) = small_scenario();
         let mut alg = SlateMwu::new(pool.len(), SlateConfig::default());
         let out = repair(&s, &pool, &mut alg, &MwRepairConfig::seeded(3));
-        assert!(out.is_repaired(), "no repair in {} iterations", out.iterations);
+        assert!(
+            out.is_repaired(),
+            "no repair in {} iterations",
+            out.iterations
+        );
         let rep = out.repair.unwrap();
         assert_eq!(rep.mutations.len(), rep.arm);
         // The reported composition really does repair.
@@ -347,16 +441,7 @@ mod tests {
 
     #[test]
     fn fitness_retained_reward_drives_leader_small() {
-        let s = BugScenario::custom(
-            "ablate",
-            ScenarioKind::Synthetic,
-            80,
-            16,
-            400,
-            15,
-            0.0,
-            23,
-        );
+        let s = BugScenario::custom("ablate", ScenarioKind::Synthetic, 80, 16, 400, 15, 0.0, 23);
         let pool = s.build_pool(1, None);
         let mut alg = SlateMwu::new(pool.len(), SlateConfig::default());
         let cfg = MwRepairConfig {
@@ -377,7 +462,10 @@ mod tests {
 
     #[test]
     fn variant_choice_parses() {
-        assert_eq!(VariantChoice::parse("Standard"), Some(VariantChoice::Standard));
+        assert_eq!(
+            VariantChoice::parse("Standard"),
+            Some(VariantChoice::Standard)
+        );
         assert_eq!(VariantChoice::parse("slate"), Some(VariantChoice::Slate));
         assert_eq!(
             VariantChoice::parse("DISTRIBUTED"),
@@ -394,8 +482,7 @@ mod tests {
             VariantChoice::Slate,
             VariantChoice::Distributed,
         ] {
-            let out =
-                repair_with_variant(&s, &pool, v, &MwRepairConfig::seeded(4), None).unwrap();
+            let out = repair_with_variant(&s, &pool, v, &MwRepairConfig::seeded(4), None).unwrap();
             assert!(out.is_repaired(), "{v:?} failed to repair");
         }
     }
@@ -405,7 +492,13 @@ mod tests {
         let (s, pool) = small_scenario();
         let ledger = CostLedger::new();
         let mut alg = SlateMwu::new(pool.len(), SlateConfig::default());
-        let out = repair_with_ledger(&s, &pool, &mut alg, &MwRepairConfig::seeded(3), Some(&ledger));
+        let out = repair_with_ledger(
+            &s,
+            &pool,
+            &mut alg,
+            &MwRepairConfig::seeded(3),
+            Some(&ledger),
+        );
         assert_eq!(ledger.fitness_evals(), out.probes);
         assert!(ledger.critical_path_ms() <= ledger.simulated_ms());
     }

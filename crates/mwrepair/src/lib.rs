@@ -42,7 +42,8 @@ pub mod minimize;
 pub mod report;
 
 pub use driver::{
-    effective_arms, repair, repair_with_variant, MwRepairConfig, RewardMode, VariantChoice,
+    effective_arms, repair, repair_observed, repair_with_ledger, repair_with_variant,
+    MwRepairConfig, RewardMode, VariantChoice,
 };
 pub use minimize::{minimize_patch, MinimizedPatch};
 pub use report::{RepairOutcome, RepairReport};

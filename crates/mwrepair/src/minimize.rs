@@ -155,7 +155,11 @@ mod tests {
     fn minimizes_to_a_single_repairer() {
         let (s, patch) = patch_scenario(15);
         let min = minimize_patch(&s, &patch, None);
-        assert!(min.mutations.len() <= 2, "minimized to {}", min.mutations.len());
+        assert!(
+            min.mutations.len() <= 2,
+            "minimized to {}",
+            min.mutations.len()
+        );
         assert!(s.evaluate(&min.mutations, None).repaired);
         assert!(min.reduction() < 0.2);
         assert_eq!(min.original_size, patch.len());

@@ -54,6 +54,62 @@ impl WorkResult {
     }
 }
 
+/// Per-round timing snapshot delivered to a [`RoundObserver`]: the busy-time
+/// spread across threads and the synchronization stall it induces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundEvent {
+    /// Round index (0-based).
+    pub round: usize,
+    /// Busy time of the slowest thread this round.
+    pub max_busy: Duration,
+    /// Busy time of the fastest thread this round.
+    pub min_busy: Duration,
+    /// Summed busy time across all threads this round.
+    pub total_busy: Duration,
+    /// Aggregate barrier-wait time this round: `max_busy × threads −
+    /// total_busy` under [`SyncMode::Barrier`] (every thread waits for the
+    /// slowest), zero under [`SyncMode::Free`].
+    pub stall: Duration,
+}
+
+/// Receives one [`RoundEvent`] per executed round. The simnet crate stands
+/// below `mwu-core` in the dependency graph, so this is a local, minimal
+/// analogue of `mwu_core::trace::Observer`: implement both to bridge
+/// round-level telemetry into a shared sink.
+pub trait RoundObserver {
+    /// Gate: when `false`, the executor skips per-round timing collection
+    /// entirely (no allocation, no extra clock reads beyond the busy timer
+    /// it already keeps).
+    fn enabled(&self) -> bool {
+        true
+    }
+    /// One round's timing spread, delivered in round order after the pool
+    /// joins.
+    fn on_round(&mut self, event: RoundEvent);
+}
+
+/// The do-nothing observer: disables collection and monomorphizes away.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullRoundObserver;
+
+impl RoundObserver for NullRoundObserver {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+    #[inline(always)]
+    fn on_round(&mut self, _event: RoundEvent) {}
+}
+
+impl<O: RoundObserver> RoundObserver for &mut O {
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+    fn on_round(&mut self, event: RoundEvent) {
+        (**self).on_round(event);
+    }
+}
+
 /// A fixed-size pool of real OS threads executing round-structured work.
 #[derive(Debug, Clone, Copy)]
 pub struct ThreadPool {
@@ -84,9 +140,31 @@ impl ThreadPool {
     where
         F: Fn(usize, usize) + Sync,
     {
+        self.run_rounds_observed(rounds, mode, work, &mut NullRoundObserver)
+    }
+
+    /// [`run_rounds`](Self::run_rounds) with per-round telemetry: after the
+    /// pool joins, `observer` receives one [`RoundEvent`] per round (in round
+    /// order) describing the busy-time spread across threads and the barrier
+    /// stall it implies. With a disabled observer (e.g.
+    /// [`NullRoundObserver`]) no per-round timings are recorded at all.
+    pub fn run_rounds_observed<F, O>(
+        &self,
+        rounds: usize,
+        mode: SyncMode,
+        work: F,
+        observer: &mut O,
+    ) -> WorkResult
+    where
+        F: Fn(usize, usize) + Sync,
+        O: RoundObserver,
+    {
         let n = self.n_threads;
+        let record = observer.enabled();
         let barrier = Barrier::new(n);
         let busy_total = Mutex::new(Duration::ZERO);
+        // One busy-time series per thread, filled only when observing.
+        let per_thread: Mutex<Vec<Vec<Duration>>> = Mutex::new(vec![Vec::new(); n]);
         let started = AtomicUsize::new(0);
         let t0 = Instant::now();
 
@@ -95,23 +173,58 @@ impl ThreadPool {
                 let work = &work;
                 let barrier = &barrier;
                 let busy_total = &busy_total;
+                let per_thread = &per_thread;
                 let started = &started;
                 s.spawn(move |_| {
                     started.fetch_add(1, Ordering::SeqCst);
                     let mut busy = Duration::ZERO;
+                    let mut series = Vec::with_capacity(if record { rounds } else { 0 });
                     for r in 0..rounds {
                         let w0 = Instant::now();
                         work(tid, r);
-                        busy += w0.elapsed();
+                        let d = w0.elapsed();
+                        busy += d;
+                        if record {
+                            series.push(d);
+                        }
                         if mode == SyncMode::Barrier {
                             barrier.wait();
                         }
                     }
                     *busy_total.lock() += busy;
+                    if record {
+                        per_thread.lock()[tid] = series;
+                    }
                 });
             }
         })
         .expect("worker thread panicked");
+
+        if record {
+            let per_thread = per_thread.into_inner();
+            for r in 0..rounds {
+                let mut max_busy = Duration::ZERO;
+                let mut min_busy = Duration::MAX;
+                let mut total_busy = Duration::ZERO;
+                for series in &per_thread {
+                    let d = series[r];
+                    max_busy = max_busy.max(d);
+                    min_busy = min_busy.min(d);
+                    total_busy += d;
+                }
+                let stall = match mode {
+                    SyncMode::Barrier => max_busy * n as u32 - total_busy,
+                    SyncMode::Free => Duration::ZERO,
+                };
+                observer.on_round(RoundEvent {
+                    round: r,
+                    max_busy,
+                    min_busy,
+                    total_busy,
+                    stall,
+                });
+            }
+        }
 
         WorkResult {
             wall: t0.elapsed(),
@@ -215,5 +328,58 @@ mod tests {
     #[should_panic]
     fn zero_threads_rejected() {
         let _ = ThreadPool::new(0);
+    }
+
+    #[test]
+    fn observer_sees_every_round_in_order() {
+        struct Collect(Vec<RoundEvent>);
+        impl RoundObserver for Collect {
+            fn on_round(&mut self, e: RoundEvent) {
+                self.0.push(e);
+            }
+        }
+        let pool = ThreadPool::new(3);
+        let mut obs = Collect(Vec::new());
+        let res =
+            pool.run_rounds_observed(7, SyncMode::Barrier, |_, _| spin_for_micros(20), &mut obs);
+        assert_eq!(res.items, 21);
+        assert_eq!(obs.0.len(), 7);
+        for (i, e) in obs.0.iter().enumerate() {
+            assert_eq!(e.round, i);
+            assert!(e.max_busy >= e.min_busy);
+            assert!(e.total_busy >= e.max_busy);
+            // stall = max × n − total is non-negative by construction.
+            assert_eq!(e.stall, e.max_busy * 3 - e.total_busy);
+        }
+        // Summed per-round busy equals the WorkResult total.
+        let summed: Duration = obs.0.iter().map(|e| e.total_busy).sum();
+        assert_eq!(summed, res.busy);
+    }
+
+    #[test]
+    fn free_mode_reports_zero_stall() {
+        struct Collect(Vec<RoundEvent>);
+        impl RoundObserver for Collect {
+            fn on_round(&mut self, e: RoundEvent) {
+                self.0.push(e);
+            }
+        }
+        let pool = ThreadPool::new(2);
+        let mut obs = Collect(Vec::new());
+        pool.run_rounds_observed(4, SyncMode::Free, |_, _| spin_for_micros(10), &mut obs);
+        assert!(obs.0.iter().all(|e| e.stall == Duration::ZERO));
+    }
+
+    #[test]
+    fn null_observer_matches_unobserved() {
+        let pool = ThreadPool::new(2);
+        let a = pool.run_rounds(5, SyncMode::Barrier, |_, _| spin_for_micros(10));
+        let b = pool.run_rounds_observed(
+            5,
+            SyncMode::Barrier,
+            |_, _| spin_for_micros(10),
+            &mut NullRoundObserver,
+        );
+        assert_eq!(a.items, b.items);
     }
 }

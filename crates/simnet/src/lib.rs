@@ -35,7 +35,9 @@ pub mod topology;
 
 pub use agent::{Agent, AgentId, Context, Message};
 pub use congestion::{balls_into_bins_max, expected_max_load};
-pub use executor::{SyncMode, ThreadPool, WorkResult};
+pub use executor::{
+    NullRoundObserver, RoundEvent, RoundObserver, SyncMode, ThreadPool, WorkResult,
+};
 pub use network::Network;
 pub use stats::{NetStats, RoundStats};
 pub use topology::Topology;

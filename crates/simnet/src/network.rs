@@ -128,7 +128,11 @@ impl Network {
             self.next_mailboxes[m.to].push(m);
         }
 
-        for (mb, next) in self.mailboxes.iter_mut().zip(self.next_mailboxes.iter_mut()) {
+        for (mb, next) in self
+            .mailboxes
+            .iter_mut()
+            .zip(self.next_mailboxes.iter_mut())
+        {
             mb.clear();
             std::mem::swap(mb, next);
         }

@@ -122,9 +122,7 @@ impl Topology {
             Topology::Ring => 1.0_f64.min(n.saturating_sub(1) as f64),
             // d·n balls into n bins: leading term d + O(√(d ln n)); we use
             // the simple additive bound d + ln n / ln ln n.
-            Topology::KRegularRandom(d) => {
-                *d as f64 + crate::congestion::expected_max_load(n)
-            }
+            Topology::KRegularRandom(d) => *d as f64 + crate::congestion::expected_max_load(n),
         }
     }
 }

@@ -27,7 +27,12 @@ fn main() {
         }
     };
     let k = dataset.size();
-    println!("dataset {} — {} options, best value {:.3}\n", dataset.name, k, dataset.best_value());
+    println!(
+        "dataset {} — {} options, best value {:.3}\n",
+        dataset.name,
+        k,
+        dataset.best_value()
+    );
     println!(
         "{:<12} {:>10} {:>10} {:>14} {:>12} {:>10}",
         "variant", "iters", "accuracy%", "cpu-iters", "congestion", "converged"

@@ -38,7 +38,10 @@ fn main() {
 
     // 2. Precompute + online repair.
     let ledger = CostLedger::new();
-    println!("\n2. precomputing the safe-mutation pool ({} targets)...", scenario.pool_size);
+    println!(
+        "\n2. precomputing the safe-mutation pool ({} targets)...",
+        scenario.pool_size
+    );
     let pool = scenario.build_pool(11, Some(&ledger));
     println!("   pool of {} safe mutations", pool.len());
     let out = repair_with_variant(
@@ -71,7 +74,10 @@ fn main() {
         min.evals_used
     );
     for m in &min.mutations {
-        println!("   edit: {:?} at statement {} (donor {})", m.op, m.site, m.donor);
+        println!(
+            "   edit: {:?} at statement {} (donor {})",
+            m.op, m.site, m.donor
+        );
     }
 
     // 4. Materialize the patched program.

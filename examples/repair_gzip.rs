@@ -56,7 +56,9 @@ fn main() {
         Some(rep) => {
             println!(
                 "  REPAIRED at iteration {} by agent {}: composition of {} mutations",
-                rep.iteration, rep.agent, rep.mutations.len()
+                rep.iteration,
+                rep.agent,
+                rep.mutations.len()
             );
             println!(
                 "  first mutations of the patch: {:?}",

@@ -89,11 +89,7 @@ fn main() {
             for c in snapshot {
                 counts[c] += 1;
             }
-            let (leader, &count) = counts
-                .iter()
-                .enumerate()
-                .max_by_key(|(_, &c)| c)
-                .unwrap();
+            let (leader, &count) = counts.iter().enumerate().max_by_key(|(_, &c)| c).unwrap();
             println!(
                 "{:>6} {:>8} ({:>4.1}%) {:>12} {:>12}",
                 round,
@@ -112,5 +108,8 @@ fn main() {
         net_stats.mean_congestion(),
         theory
     );
-    println!("(a global synchronization would cost {} every round)", N - 1);
+    println!(
+        "(a global synchronization would cost {} every round)",
+        N - 1
+    );
 }

@@ -2,7 +2,9 @@
 //! behaviour of the implementations.
 
 use integration_tests::{test_run_config, test_seed};
-use mwu_core::cost::{asymptotic_costs, default_operating_point, CostWeights, Variant, WeightedCostModel};
+use mwu_core::cost::{
+    asymptotic_costs, default_operating_point, CostWeights, Variant, WeightedCostModel,
+};
 use mwu_core::prelude::*;
 use mwu_datasets::catalog;
 use simnet::expected_max_load;
@@ -65,8 +67,11 @@ fn memory_entries_reflect_implementations() {
     let p = default_operating_point(Variant::Standard, 512);
     assert_eq!(asymptotic_costs(Variant::Standard, &p).memory, 512.0);
     assert_eq!(
-        asymptotic_costs(Variant::Distributed, &default_operating_point(Variant::Distributed, 512))
-            .memory,
+        asymptotic_costs(
+            Variant::Distributed,
+            &default_operating_point(Variant::Distributed, 512)
+        )
+        .memory,
         1.0
     );
 

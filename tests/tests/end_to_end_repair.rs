@@ -58,9 +58,15 @@ fn mwrepair_repairs_a_hard_scenario_where_single_edit_search_fails() {
 
     // AE is deterministic: one run settles it.
     let ae = AdaptiveSearch::default().run(&s, &SearchBudget::new(10_000, 0), None);
-    assert!(!ae.is_repaired(), "AE unexpectedly repaired the hard scenario");
+    assert!(
+        !ae.is_repaired(),
+        "AE unexpectedly repaired the hard scenario"
+    );
     let rs = RandomSearch::default().run(&s, &SearchBudget::new(10_000, 7), None);
-    assert!(!rs.is_repaired(), "RSRepair unexpectedly repaired the hard scenario");
+    assert!(
+        !rs.is_repaired(),
+        "RSRepair unexpectedly repaired the hard scenario"
+    );
 }
 
 #[test]

@@ -92,7 +92,16 @@ fn unrepairable_scenario_returns_null_not_panic() {
 
 #[test]
 fn repair_patch_materializes_into_a_concrete_mutant() {
-    let s = BugScenario::custom("materialize", ScenarioKind::Synthetic, 40, 10, 300, 12, 0.05, 6);
+    let s = BugScenario::custom(
+        "materialize",
+        ScenarioKind::Synthetic,
+        40,
+        10,
+        300,
+        12,
+        0.05,
+        6,
+    );
     let pool = s.build_pool(1, None);
     let out = repair_with_variant(
         &s,

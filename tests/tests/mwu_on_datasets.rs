@@ -59,7 +59,9 @@ fn distributed_is_fastest_in_update_cycles_on_random64() {
     for variant in ["standard", "distributed", "slate"] {
         let mut total = 0usize;
         for rep in 0..5 {
-            total += run_variant(variant, &d, test_seed(2, rep)).unwrap().iterations;
+            total += run_variant(variant, &d, test_seed(2, rep))
+                .unwrap()
+                .iterations;
         }
         iters.insert(variant, total);
     }
@@ -87,7 +89,9 @@ fn slate_needs_the_most_update_cycles() {
         for variant in ["standard", "distributed", "slate"] {
             let mut total = 0usize;
             for rep in 0..3 {
-                total += run_variant(variant, &d, test_seed(3, rep)).unwrap().iterations;
+                total += run_variant(variant, &d, test_seed(3, rep))
+                    .unwrap()
+                    .iterations;
             }
             iters.insert(variant, total);
         }

@@ -3,7 +3,7 @@
 use apr_sim::interaction::InteractionModel;
 use apr_sim::mutation::{MutOp, Mutation, MutationId};
 use mwu_core::slate::{decompose_into_slates, systematic_sample};
-use mwu_core::stats::RunningStats;
+use mwu_core::stats::{Counter, Histogram, RunningStats};
 use mwu_core::weights::WeightVector;
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -142,6 +142,132 @@ proptest! {
         prop_assert_eq!(a.count(), seq.count());
         prop_assert!((a.mean() - seq.mean()).abs() < 1e-6 * (1.0 + seq.mean().abs()));
         prop_assert!((a.variance() - seq.variance()).abs() < 1e-4 * (1.0 + seq.variance()));
+    }
+
+    // --- Telemetry aggregates (trace::MetricsSink building blocks) ---
+
+    #[test]
+    fn histogram_merge_is_associative_and_order_insensitive(
+        xs in prop::collection::vec(1e-9f64..1e9, 0..60),
+        ys in prop::collection::vec(1e-9f64..1e9, 0..60),
+        zs in prop::collection::vec(1e-9f64..1e9, 0..60),
+    ) {
+        let h = |vals: &[f64]| {
+            let mut h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        // (x ⊕ y) ⊕ z
+        let mut left = h(&xs);
+        left.merge(&h(&ys));
+        left.merge(&h(&zs));
+        // x ⊕ (y ⊕ z)
+        let mut yz = h(&ys);
+        yz.merge(&h(&zs));
+        let mut right = h(&xs);
+        right.merge(&yz);
+        prop_assert_eq!(left.bucket_counts(), right.bucket_counts());
+        prop_assert_eq!(left.count(), right.count());
+        // Order-insensitive: z ⊕ y ⊕ x has the same buckets.
+        let mut rev = h(&zs);
+        rev.merge(&h(&ys));
+        rev.merge(&h(&xs));
+        prop_assert_eq!(left.bucket_counts(), rev.bucket_counts());
+        prop_assert_eq!(left.non_positive_count(), rev.non_positive_count());
+        // Merging loses no mass and invents none.
+        prop_assert_eq!(left.count(), (xs.len() + ys.len() + zs.len()) as u64);
+        prop_assert!((left.stats().mean() - rev.stats().mean()).abs()
+            <= 1e-6 * (1.0 + left.stats().mean().abs()));
+    }
+
+    #[test]
+    fn histogram_counts_are_conserved_and_split_invariant(
+        xs in prop::collection::vec(-1e6f64..1e6, 1..120),
+        split in 0usize..120,
+    ) {
+        let split = split.min(xs.len());
+        let mut whole = Histogram::new();
+        for &x in &xs {
+            whole.record(x);
+        }
+        let mut a = Histogram::new();
+        for &x in &xs[..split] {
+            a.record(x);
+        }
+        let mut b = Histogram::new();
+        for &x in &xs[split..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), xs.len() as u64);
+        prop_assert_eq!(a.bucket_counts(), whole.bucket_counts());
+        prop_assert_eq!(a.non_positive_count(), whole.non_positive_count());
+        let in_buckets: u64 = whole.bucket_counts().iter().sum();
+        prop_assert_eq!(in_buckets + whole.non_positive_count(), xs.len() as u64);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_monotone_and_bounded(
+        xs in prop::collection::vec(1e-6f64..1e6, 1..100),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let mut h = Histogram::new();
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &x in &xs {
+            h.record(x);
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        let (qlo, qhi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let vlo = h.quantile(qlo);
+        let vhi = h.quantile(qhi);
+        prop_assert!(vlo <= vhi, "quantile({qlo}) = {vlo} > quantile({qhi}) = {vhi}");
+        for q in [0.0, qlo, qhi, 1.0] {
+            let v = h.quantile(q);
+            prop_assert!((lo..=hi).contains(&v), "quantile({q}) = {v} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn histogram_ignores_non_finite_samples(
+        xs in prop::collection::vec(1e-6f64..1e6, 0..40),
+    ) {
+        let mut clean = Histogram::new();
+        let mut dirty = Histogram::new();
+        for &x in &xs {
+            clean.record(x);
+            dirty.record(x);
+        }
+        dirty.record(f64::NAN);
+        dirty.record(f64::INFINITY);
+        dirty.record(f64::NEG_INFINITY);
+        prop_assert_eq!(clean.count(), dirty.count());
+        prop_assert_eq!(clean.bucket_counts(), dirty.bucket_counts());
+    }
+
+    #[test]
+    fn counter_merge_adds_and_commutes(
+        a in 0u64..1_000_000,
+        b in 0u64..1_000_000,
+        bump in 0u64..100,
+    ) {
+        let mut x = Counter::new();
+        x.add(a);
+        let mut y = Counter::new();
+        y.add(b);
+        for _ in 0..bump {
+            y.incr();
+        }
+        let mut xy = x;
+        xy.merge(&y);
+        let mut yx = y;
+        yx.merge(&x);
+        prop_assert_eq!(xy.get(), a + b + bump);
+        prop_assert_eq!(xy.get(), yx.get());
     }
 
     // --- APR substrate ---

@@ -1,0 +1,276 @@
+//! Offline vendored `criterion` subset.
+//!
+//! A minimal wall-clock micro-benchmark harness exposing the criterion API
+//! surface this workspace's benches use (`benchmark_group`, `bench_function`,
+//! `bench_with_input`, `iter`, `iter_batched`, `criterion_group!`,
+//! `criterion_main!`). It times each routine over a short adaptive loop and
+//! prints `ns/iter` — no statistics, plots, or HTML reports. When a bench
+//! binary is invoked by `cargo test` (any `--test`-style argument present),
+//! each routine runs exactly once as a smoke test so the suite stays fast.
+
+use std::time::{Duration, Instant};
+
+/// Opaque black box preventing the optimizer from deleting a computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation (recorded, reported alongside timings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Bytes decoded per iteration.
+    BytesDecimal(u64),
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; the stub treats all
+/// variants identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Fresh input every iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier: function name plus a parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Identifier `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+fn smoke_mode() -> bool {
+    // `cargo test` runs harness=false bench binaries with libtest-style
+    // arguments; any argument at all means "not a real bench run".
+    std::env::args().len() > 1
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    smoke: bool,
+    /// Mean nanoseconds per iteration measured by the last `iter*` call.
+    last_ns: f64,
+}
+
+impl Bencher {
+    fn run_loop<F: FnMut()>(&mut self, mut once: F) {
+        if self.smoke {
+            once();
+            self.last_ns = 0.0;
+            return;
+        }
+        // Warm up briefly, then time batches until ~20ms elapses.
+        once();
+        let budget = Duration::from_millis(20);
+        let t0 = Instant::now();
+        let mut iters: u64 = 0;
+        while t0.elapsed() < budget && iters < 1_000_000 {
+            once();
+            iters += 1;
+        }
+        self.last_ns = t0.elapsed().as_nanos() as f64 / iters.max(1) as f64;
+    }
+
+    /// Time `routine`, running it repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        self.run_loop(|| {
+            black_box(routine());
+        });
+    }
+
+    /// Time `routine` on inputs produced by `setup`; setup time is included
+    /// in this stub (acceptable for smoke-grade numbers).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        self.run_loop(|| {
+            let input = setup();
+            black_box(routine(input));
+        });
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sample-size hint (ignored by the stub's adaptive loop).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Measurement-time hint (ignored by the stub's adaptive loop).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Record the throughput for subsequent benchmarks in this group.
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    fn run_one(&mut self, label: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            smoke: smoke_mode(),
+            last_ns: 0.0,
+        };
+        f(&mut b);
+        if b.smoke {
+            println!("bench {}/{}: ok (smoke)", self.name, label);
+        } else {
+            println!("bench {}/{}: {:.1} ns/iter", self.name, label, b.last_ns);
+        }
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(&id.label.clone(), |b| f(b));
+        self
+    }
+
+    /// Run one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        self.run_one(&id.label.clone(), |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Run one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut group = self.benchmark_group(id.label.clone());
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+}
+
+/// Define a benchmark group function callable from `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_closures() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("stub");
+        let mut calls = 0u32;
+        group.sample_size(10).throughput(Throughput::Elements(4));
+        group.bench_function("count", |b| b.iter(|| calls += 1));
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_each_pass() {
+        let mut b = Bencher {
+            smoke: true,
+            last_ns: 0.0,
+        };
+        let mut setups = 0u32;
+        b.iter_batched(
+            || {
+                setups += 1;
+                vec![1u8; 8]
+            },
+            |v| v.len(),
+            BatchSize::SmallInput,
+        );
+        assert_eq!(setups, 1);
+    }
+}

@@ -1,0 +1,83 @@
+//! Offline vendored `crossbeam` subset.
+//!
+//! Only `crossbeam::thread::scope` is provided, implemented on top of
+//! `std::thread::scope` (stable since Rust 1.63, which postdates the
+//! original crossbeam scoped-thread design). The API difference this shim
+//! preserves: crossbeam's spawn closures receive `&Scope` as an argument
+//! and `scope` returns a `Result` capturing child panics — std's versions
+//! do neither, so thin wrappers restore both.
+
+/// Scoped-thread API mirroring `crossbeam::thread`.
+pub mod thread {
+    /// A scope handle allowing spawns that borrow from the enclosing stack
+    /// frame.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. Unlike std, the closure receives the
+        /// scope handle (crossbeam style), so nested spawns are possible.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || {
+                let scope = Scope { inner };
+                f(&scope)
+            })
+        }
+    }
+
+    /// Create a scope for spawning borrowing threads. All spawned threads
+    /// are joined before this returns. A child panic propagates as an `Err`
+    /// only in real crossbeam; std re-raises the panic at join, so callers'
+    /// `.expect(...)` still reports the failure, just via the original
+    /// panic payload instead of the wrapped one.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| {
+            let scope = Scope { inner: s };
+            f(&scope)
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_children_and_allows_borrows() {
+        let counter = AtomicUsize::new(0);
+        super::thread::scope(|s| {
+            for _ in 0..4 {
+                let counter = &counter;
+                s.spawn(move |_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        })
+        .expect("scope failed");
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let flag = AtomicUsize::new(0);
+        super::thread::scope(|s| {
+            let flag = &flag;
+            s.spawn(move |s2| {
+                s2.spawn(move |_| {
+                    flag.store(7, Ordering::SeqCst);
+                });
+            });
+        })
+        .expect("scope failed");
+        assert_eq!(flag.load(Ordering::SeqCst), 7);
+    }
+}

@@ -1,0 +1,89 @@
+//! Offline vendored `parking_lot` subset.
+//!
+//! Wraps `std::sync` primitives behind parking_lot's poison-free API:
+//! `lock()` returns the guard directly (a poisoned std mutex — possible
+//! only after a panic while locked — is recovered rather than propagated,
+//! matching parking_lot's no-poisoning semantics).
+
+use std::fmt;
+
+/// Guard type returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+/// A mutual-exclusion lock with parking_lot's panic-free locking API.
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a mutex guarding `value`.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consume the mutex, returning the guarded value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking until available. Never panics on
+    /// poisoning — the lock is recovered instead.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Try to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(guard) => Some(guard),
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (exclusive borrow proves uniqueness).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner
+            .get_mut()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(guard) => f.debug_struct("Mutex").field("data", &&*guard).finish(),
+            None => f.debug_struct("Mutex").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_and_into_inner() {
+        let m = Mutex::new(41);
+        *m.lock() += 1;
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn try_lock_contended() {
+        let m = Mutex::new(0u8);
+        let guard = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(guard);
+        assert!(m.try_lock().is_some());
+    }
+}

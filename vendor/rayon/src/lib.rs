@@ -1,0 +1,110 @@
+//! Offline vendored `rayon` shim.
+//!
+//! The build environment has no crates.io access, so this crate keeps the
+//! `par_iter()` / `into_par_iter()` call sites compiling by handing back
+//! **sequential** standard-library iterators. Every caller in this
+//! workspace already derives per-item RNG streams so results are
+//! scheduling-independent; running the items sequentially changes wall
+//! time, never results. Swapping the real rayon back in later is a
+//! one-line `Cargo.toml` change.
+
+/// Sequential stand-in for `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// The underlying iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// The element type.
+    type Item;
+
+    /// "Parallel" iteration — sequential in this shim.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Iter = I::IntoIter;
+    type Item = I::Item;
+
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Sequential stand-in for `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    /// The underlying iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// The element type (a reference).
+    type Item: 'a;
+
+    /// "Parallel" iteration over references — sequential in this shim.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: 'a + ?Sized> IntoParallelRefIterator<'a> for T
+where
+    &'a T: IntoIterator,
+{
+    type Iter = <&'a T as IntoIterator>::IntoIter;
+    type Item = <&'a T as IntoIterator>::Item;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Sequential stand-in for `rayon::iter::IntoParallelRefMutIterator`.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// The underlying iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// The element type (a mutable reference).
+    type Item: 'a;
+
+    /// "Parallel" iteration over mutable references — sequential here.
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, T: 'a + ?Sized> IntoParallelRefMutIterator<'a> for T
+where
+    &'a mut T: IntoIterator,
+{
+    type Iter = <&'a mut T as IntoIterator>::IntoIter;
+    type Item = <&'a mut T as IntoIterator>::Item;
+
+    fn par_iter_mut(&'a mut self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Run two closures "in parallel" (sequentially here) and return both
+/// results, mirroring `rayon::join`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// The common imports, mirroring `rayon::prelude::*`.
+pub mod prelude {
+    pub use super::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_behaves_like_iter() {
+        let xs = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let sum: u64 = (0..10u64).into_par_iter().sum();
+        assert_eq!(sum, 45);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1, || "two");
+        assert_eq!((a, b), (1, "two"));
+    }
+}

@@ -1,0 +1,476 @@
+//! Offline vendored `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` for the item shapes this workspace uses —
+//! non-generic structs (named, tuple, unit) and enums whose variants are
+//! unit, tuple, or struct-like. Serialization follows serde's externally
+//! tagged enum convention over the vendored `serde::Value` data model.
+//!
+//! Implemented directly on `proc_macro` token trees (no `syn`/`quote`,
+//! which are unavailable offline); generated impls are rendered as source
+//! strings and re-parsed, which keeps the generator readable.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item)
+            .parse()
+            .expect("generated Serialize impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .expect("generated Deserialize impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Self {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Skip any `#[...]` / `#![...]` attributes (doc comments included).
+    fn skip_attributes(&mut self) {
+        loop {
+            match self.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    self.pos += 1;
+                    if let Some(TokenTree::Punct(p)) = self.peek() {
+                        if p.as_char() == '!' {
+                            self.pos += 1;
+                        }
+                    }
+                    match self.peek() {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                            self.pos += 1;
+                        }
+                        _ => return,
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    /// Skip `pub`, `pub(crate)`, `pub(in ...)`.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+            other => Err(format!("expected identifier, got {other:?}")),
+        }
+    }
+
+    /// Consume tokens of a type expression until a top-level `,`, tracking
+    /// `<`/`>` depth (parens/brackets arrive as atomic groups).
+    fn skip_type_until_comma(&mut self) {
+        let mut angle_depth = 0i32;
+        while let Some(t) = self.peek() {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => return,
+                    _ => {}
+                }
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut c = Cursor::new(input);
+    c.skip_attributes();
+    c.skip_visibility();
+    let kind = c.expect_ident()?;
+    match kind.as_str() {
+        "struct" => {
+            let name = c.expect_ident()?;
+            check_no_generics(&c, &name)?;
+            let shape = match c.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                other => return Err(format!("struct {name}: unexpected body {other:?}")),
+            };
+            Ok(Item::Struct { name, shape })
+        }
+        "enum" => {
+            let name = c.expect_ident()?;
+            check_no_generics(&c, &name)?;
+            match c.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let variants = parse_variants(g.stream())?;
+                    Ok(Item::Enum { name, variants })
+                }
+                other => Err(format!("enum {name}: expected brace body, got {other:?}")),
+            }
+        }
+        other => Err(format!("cannot derive for item kind {other:?}")),
+    }
+}
+
+fn check_no_generics(c: &Cursor, name: &str) -> Result<(), String> {
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "vendored serde_derive does not support generic type {name}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    loop {
+        c.skip_attributes();
+        if c.at_end() {
+            return Ok(fields);
+        }
+        c.skip_visibility();
+        let name = c.expect_ident()?;
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("field {name}: expected ':', got {other:?}")),
+        }
+        c.skip_type_until_comma();
+        fields.push(name);
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => return Ok(fields),
+            other => return Err(format!("expected ',' between fields, got {other:?}")),
+        }
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    let mut count = 0;
+    loop {
+        c.skip_attributes();
+        if c.at_end() {
+            return count;
+        }
+        c.skip_visibility();
+        c.skip_type_until_comma();
+        count += 1;
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            _ => return count,
+        }
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attributes();
+        if c.at_end() {
+            return Ok(variants);
+        }
+        let name = c.expect_ident()?;
+        let shape = match c.peek().cloned() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                c.pos += 1;
+                Shape::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                c.pos += 1;
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an optional `= discriminant` up to the separating comma.
+        c.skip_type_until_comma();
+        variants.push(Variant { name, shape });
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => return Ok(variants),
+            other => return Err(format!("expected ',' between variants, got {other:?}")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => "::serde::Value::Null".to_string(),
+                Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                }
+                Shape::Named(fields) => object_expr(fields.iter().map(|f| {
+                    (
+                        f.clone(),
+                        format!("::serde::Serialize::to_value(&self.{f})"),
+                    )
+                })),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = Vec::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push(format!(
+                        "{name}::{vn} => ::serde::Value::Str(String::from(\"{vn}\")),"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(x0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push(format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(vec![(String::from(\"{vn}\"), {inner})]),",
+                            binds.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let inner =
+                            object_expr(fields.iter().map(|f| {
+                                (f.clone(), format!("::serde::Serialize::to_value({f})"))
+                            }));
+                        arms.push(format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![(String::from(\"{vn}\"), {inner})]),"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn object_expr(entries: impl Iterator<Item = (String, String)>) -> String {
+    let items: Vec<String> = entries
+        .map(|(k, v)| format!("(String::from(\"{k}\"), {v})"))
+        .collect();
+    format!("::serde::Value::Object(vec![{}])", items.join(", "))
+}
+
+fn named_field_reads(type_label: &str, fields: &[String], source: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value({source}.field(\"{f}\"))\
+                 .map_err(|e| ::serde::Error::custom(format!(\"{type_label}.{f}: {{e}}\")))?,"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => format!("Ok({name})"),
+                Shape::Tuple(1) => {
+                    format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+                }
+                Shape::Tuple(n) => {
+                    let reads: Vec<String> = (0..*n)
+                        .map(|i| {
+                            format!(
+                                "::serde::Deserialize::from_value(a.get({i})\
+                                 .ok_or_else(|| ::serde::Error::custom(\"{name}: tuple too short\"))?)?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "let a = v.as_array().ok_or_else(|| ::serde::Error::custom(\"{name}: expected array\"))?;\n\
+                         Ok({name}({}))",
+                        reads.join(", ")
+                    )
+                }
+                Shape::Named(fields) => {
+                    let reads = named_field_reads(name, fields, "v");
+                    format!(
+                        "if v.as_object().is_none() {{\n\
+                             return Err(::serde::Error::custom(\"{name}: expected object\"));\n\
+                         }}\n\
+                         Ok({name} {{\n{reads}\n}})"
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = Vec::new();
+            let mut payload_arms = Vec::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => unit_arms.push(format!("\"{vn}\" => Ok({name}::{vn}),")),
+                    Shape::Tuple(1) => payload_arms.push(format!(
+                        "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?)),"
+                    )),
+                    Shape::Tuple(n) => {
+                        let reads: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!(
+                                    "::serde::Deserialize::from_value(a.get({i})\
+                                     .ok_or_else(|| ::serde::Error::custom(\"{name}::{vn}: tuple too short\"))?)?"
+                                )
+                            })
+                            .collect();
+                        payload_arms.push(format!(
+                            "\"{vn}\" => {{\n\
+                                 let a = inner.as_array().ok_or_else(|| ::serde::Error::custom(\"{name}::{vn}: expected array\"))?;\n\
+                                 Ok({name}::{vn}({}))\n\
+                             }}",
+                            reads.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let label = format!("{name}::{vn}");
+                        let reads = named_field_reads(&label, fields, "inner");
+                        payload_arms.push(format!("\"{vn}\" => Ok({name}::{vn} {{\n{reads}\n}}),"));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         if let Some(s) = v.as_str() {{\n\
+                             #[allow(unreachable_patterns)]\n\
+                             return match s {{\n{units}\n\
+                                 other => Err(::serde::Error::custom(format!(\"{name}: unknown variant {{other:?}}\"))),\n\
+                             }};\n\
+                         }}\n\
+                         if let Some(entries) = v.as_object() {{\n\
+                             if entries.len() == 1 {{\n\
+                                 let (k, inner) = &entries[0];\n\
+                                 let _ = inner;\n\
+                                 #[allow(unreachable_patterns)]\n\
+                                 return match k.as_str() {{\n{payloads}\n\
+                                     other => Err(::serde::Error::custom(format!(\"{name}: unknown variant {{other:?}}\"))),\n\
+                                 }};\n\
+                             }}\n\
+                         }}\n\
+                         Err(::serde::Error::custom(\"{name}: expected externally tagged enum\"))\n\
+                     }}\n\
+                 }}",
+                units = unit_arms.join("\n"),
+                payloads = payload_arms.join("\n"),
+            )
+        }
+    }
+}

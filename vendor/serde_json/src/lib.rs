@@ -1,0 +1,31 @@
+//! Offline vendored `serde_json` subset: `to_string` / `from_str` over the
+//! vendored `serde` crate's [`serde::Value`] data model and JSON codec.
+
+pub use serde::{Error, Value};
+
+/// Serialize a value to compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(serde::json::to_string(&value.to_value()))
+}
+
+/// Deserialize a value from JSON text.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    T::from_value(&serde::json::parse(s)?)
+}
+
+/// Parse JSON text into a loosely typed [`Value`].
+pub fn from_str_value(s: &str) -> Result<Value, Error> {
+    serde::json::parse(s)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn round_trips_via_serde_traits() {
+        let v = vec![1u64, 2, 3];
+        let s = super::to_string(&v).unwrap();
+        assert_eq!(s, "[1,2,3]");
+        let back: Vec<u64> = super::from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+}
