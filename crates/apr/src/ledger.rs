@@ -62,6 +62,17 @@ impl CostLedger {
         }
     }
 
+    /// Overwrite all counters from a snapshot (checkpoint resume: the
+    /// resumed run's ledger continues from the killed run's totals).
+    pub fn restore(&self, snapshot: CostSnapshot) {
+        self.fitness_evals
+            .store(snapshot.fitness_evals, Ordering::Relaxed);
+        self.simulated_ms
+            .store(snapshot.simulated_ms, Ordering::Relaxed);
+        self.critical_path_ms
+            .store(snapshot.critical_path_ms, Ordering::Relaxed);
+    }
+
     /// Reset all counters.
     pub fn reset(&self) {
         self.fitness_evals.store(0, Ordering::Relaxed);
@@ -137,6 +148,23 @@ mod tests {
         }
         assert_eq!(l.fitness_evals(), 8000);
         assert_eq!(l.simulated_ms(), 24_000);
+    }
+
+    #[test]
+    fn restore_overwrites_counters() {
+        let l = CostLedger::new();
+        l.record_eval(10);
+        l.restore(CostSnapshot {
+            fitness_evals: 7,
+            simulated_ms: 70,
+            critical_path_ms: 35,
+        });
+        assert_eq!(l.fitness_evals(), 7);
+        assert_eq!(l.simulated_ms(), 70);
+        assert_eq!(l.critical_path_ms(), 35);
+        l.record_eval(30);
+        assert_eq!(l.fitness_evals(), 8);
+        assert_eq!(l.simulated_ms(), 100);
     }
 
     #[test]

@@ -289,6 +289,7 @@ impl MwuAlgorithm for DistributedMwu {
         let alpha_threshold = (a * u64::MAX as f64) as u64;
         let beta_threshold = (b * u64::MAX as f64) as u64;
         for (j, &r) in rewards.iter().enumerate() {
+            let r = crate::sanitize_reward(r);
             let threshold = if r <= 0.0 {
                 alpha_threshold
             } else if r >= 1.0 {
@@ -341,6 +342,193 @@ impl MwuAlgorithm for DistributedMwu {
 
     fn variant(&self) -> Variant {
         Variant::Distributed
+    }
+}
+
+/// Degradation parameters for [`DistributedMwu::update_gossip`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GossipConfig {
+    /// Minimum fraction of the population whose observations must be usable
+    /// for the round to apply at all. Below quorum the round is a no-op —
+    /// a heavily partitioned round must not produce a *skewed* update in
+    /// which only the surviving minority's opinions move the counts.
+    pub quorum: f64,
+    /// Observations older than this many rounds are discarded outright.
+    pub max_staleness: u32,
+    /// Per-round-of-staleness multiplier on the adoption probability
+    /// (`decay^staleness`): an evaluation that arrives late refers to an
+    /// observation the agent has since replaced, so its influence decays.
+    pub staleness_decay: f64,
+}
+
+impl Default for GossipConfig {
+    fn default() -> Self {
+        Self {
+            quorum: 0.5,
+            max_staleness: 5,
+            staleness_decay: 0.8,
+        }
+    }
+}
+
+/// One agent's (possibly late, duplicated, or corrupted) gossiped reward
+/// for the option it observed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GossipObservation {
+    /// The agent this evaluation belongs to.
+    pub agent: usize,
+    /// Observed reward in `[0, 1]` — possibly corrupted (NaN / huge).
+    pub reward: f64,
+    /// Rounds since the evaluation was made (0 = fresh).
+    pub staleness: u32,
+}
+
+impl GossipObservation {
+    /// A fresh observation for `agent`.
+    pub fn fresh(agent: usize, reward: f64) -> Self {
+        Self {
+            agent,
+            reward,
+            staleness: 0,
+        }
+    }
+}
+
+/// What [`DistributedMwu::update_gossip`] did with one round's observations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GossipReport {
+    /// Whether the round applied (false ⇒ quorum failed, state untouched).
+    pub applied: bool,
+    /// Agents whose observation was usable this round.
+    pub used: usize,
+    /// Agents with no usable observation (never arrived, or discarded).
+    pub missing: usize,
+    /// Extra copies dropped by per-agent deduplication.
+    pub duplicates: usize,
+    /// Observations discarded for exceeding `max_staleness`.
+    pub stale_discarded: usize,
+    /// Observations discarded because the reward was NaN.
+    pub corrupt_discarded: usize,
+    /// Rewards clamped back into `[0, 1]` (finite but out of range, or ±inf).
+    pub clamped: usize,
+}
+
+impl DistributedMwu {
+    /// Degradation-aware update: incorporate whatever subset of the
+    /// population's evaluations survived the network this round.
+    ///
+    /// This is [`MwuAlgorithm::update`] hardened for lossy transport:
+    ///
+    /// * **Missing** observations (dropped messages, crashed agents) simply
+    ///   leave those agents' choices untouched.
+    /// * **Duplicates** are deduplicated per agent — the freshest copy wins,
+    ///   so a duplicated packet cannot double an adoption's probability.
+    /// * **Stale** observations (delayed messages) are either discarded
+    ///   (`staleness > max_staleness`) or applied with adoption probability
+    ///   attenuated by `staleness_decay^staleness` — by the time a late
+    ///   evaluation arrives, the agent's observed option has moved on, so
+    ///   its evidence is worth less.
+    /// * **Corrupted** rewards cannot collapse the simplex: NaN is
+    ///   discarded, out-of-range values are clamped into `[0, 1]`
+    ///   (see [`crate::sanitize_reward`]).
+    /// * **Quorum**: if fewer than `quorum · population` usable
+    ///   observations remain, the whole round is a no-op rather than a
+    ///   skewed update from a surviving minority.
+    ///
+    /// Agents are processed in id order and each usable observation draws
+    /// exactly once from `rng`, so the update is deterministic in
+    /// (observations, rng state).
+    pub fn update_gossip(
+        &mut self,
+        observations: &[GossipObservation],
+        gossip: &GossipConfig,
+        rng: &mut SmallRng,
+    ) -> GossipReport {
+        use rand::RngCore;
+        let pop = self.choices.len();
+        let mut report = GossipReport::default();
+
+        // Deduplicate: freshest observation per agent wins.
+        let mut slots: Vec<Option<(f64, u32)>> = vec![None; pop];
+        for obs in observations {
+            if obs.agent >= pop {
+                debug_assert!(false, "gossip observation for unknown agent {}", obs.agent);
+                continue;
+            }
+            match &mut slots[obs.agent] {
+                slot @ None => *slot = Some((obs.reward, obs.staleness)),
+                Some((r, s)) => {
+                    report.duplicates += 1;
+                    if obs.staleness < *s {
+                        *r = obs.reward;
+                        *s = obs.staleness;
+                    }
+                }
+            }
+        }
+
+        // Screen each slot: staleness window, NaN discard, range clamp.
+        for slot in &mut slots {
+            let usable = match slot {
+                None => false,
+                Some((_, s)) if *s > gossip.max_staleness => {
+                    report.stale_discarded += 1;
+                    false
+                }
+                Some((r, _)) if r.is_nan() => {
+                    report.corrupt_discarded += 1;
+                    false
+                }
+                Some((r, _)) => {
+                    let clean = crate::sanitize_reward(*r);
+                    if clean != *r {
+                        report.clamped += 1;
+                        *r = clean;
+                    }
+                    true
+                }
+            };
+            if !usable {
+                *slot = None;
+            }
+        }
+        report.used = slots.iter().filter(|s| s.is_some()).count();
+        report.missing = pop - report.used;
+
+        // Quorum gate: too few survivors ⇒ no-op round.
+        let needed = (gossip.quorum * pop as f64).ceil() as usize;
+        if report.used < needed {
+            return report;
+        }
+        report.applied = true;
+
+        self.iteration += 1;
+        let a = self.config.alpha;
+        let b = self.config.beta;
+        for (j, slot) in slots.iter().enumerate() {
+            let Some((r, staleness)) = *slot else {
+                continue;
+            };
+            let decay = if staleness == 0 {
+                1.0
+            } else {
+                gossip.staleness_decay.powi(staleness as i32)
+            };
+            let p_adopt = (a + (b - a) * r) * decay;
+            let threshold = (p_adopt * u64::MAX as f64) as u64;
+            if rng.next_u64() < threshold {
+                let new = self.observed[j];
+                let old = self.choices[j];
+                if new != old {
+                    self.counts[old as usize] -= 1;
+                    self.counts[new as usize] += 1;
+                    self.choices[j] = new;
+                }
+            }
+        }
+        self.convergence
+            .observe(self.iteration, self.leader_share());
+        report
     }
 }
 
@@ -494,6 +682,205 @@ mod tests {
             ..DistributedConfig::default()
         };
         assert!((cfg.delta() - (0.9f64 / 0.1).ln()).abs() < 1e-12);
+    }
+
+    /// Drive with gossip: each round, every agent's reward survives with
+    /// probability `deliver`, duplicated with probability `dup`.
+    fn drive_gossip(
+        alg: &mut DistributedMwu,
+        bandit: &mut ValueBandit,
+        gossip: &GossipConfig,
+        deliver: f64,
+        dup: f64,
+        rounds: usize,
+        seed: u64,
+    ) -> usize {
+        use rand::Rng;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut net_rng = SmallRng::seed_from_u64(seed ^ 0xDEAD);
+        for t in 0..rounds {
+            let plan = alg.plan(&mut rng).to_vec();
+            let mut obs = Vec::with_capacity(plan.len());
+            for (j, &a) in plan.iter().enumerate() {
+                let r = bandit.pull(a, &mut rng);
+                if net_rng.gen::<f64>() < deliver {
+                    obs.push(GossipObservation::fresh(j, r));
+                    if net_rng.gen::<f64>() < dup {
+                        obs.push(GossipObservation::fresh(j, r));
+                    }
+                }
+            }
+            alg.update_gossip(&obs, gossip, &mut rng);
+            if alg.has_converged() {
+                return t + 1;
+            }
+        }
+        rounds
+    }
+
+    #[test]
+    fn gossip_with_full_delivery_converges() {
+        let mut values = vec![0.05; 16];
+        values[5] = 0.95;
+        let mut alg = DistributedMwu::new(16, DistributedConfig::default());
+        let mut bandit = ValueBandit::bernoulli(values);
+        let t = drive_gossip(
+            &mut alg,
+            &mut bandit,
+            &GossipConfig::default(),
+            1.0,
+            0.0,
+            10_000,
+            3,
+        );
+        assert!(alg.has_converged(), "no convergence in {t} rounds");
+        assert_eq!(alg.leader(), 5);
+    }
+
+    #[test]
+    fn gossip_converges_under_ten_percent_drop() {
+        // The ISSUE acceptance criterion: drop rate ≤ 10% must still
+        // converge on unimodal-style instances without divergence or NaN.
+        let mut values = vec![0.05; 16];
+        values[5] = 0.95;
+        let mut alg = DistributedMwu::new(16, DistributedConfig::default());
+        let mut bandit = ValueBandit::bernoulli(values);
+        let t = drive_gossip(
+            &mut alg,
+            &mut bandit,
+            &GossipConfig::default(),
+            0.9,
+            0.05,
+            20_000,
+            4,
+        );
+        assert!(
+            alg.has_converged(),
+            "no convergence in {t} rounds at 10% drop"
+        );
+        assert_eq!(alg.leader(), 5);
+        let sum: u32 = alg.counts().iter().sum();
+        assert_eq!(sum as usize, alg.population(), "counts conserved");
+        assert!(alg.probabilities().iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn gossip_below_quorum_is_noop() {
+        let mut alg = DistributedMwu::new(8, DistributedConfig::default());
+        let mut rng = SmallRng::seed_from_u64(0);
+        alg.plan(&mut rng);
+        let counts_before = alg.counts().to_vec();
+        let it_before = alg.iteration();
+        // Only 3 observations for a population of ≥ 22: far below quorum.
+        let obs: Vec<GossipObservation> =
+            (0..3).map(|j| GossipObservation::fresh(j, 1.0)).collect();
+        let report = alg.update_gossip(&obs, &GossipConfig::default(), &mut rng);
+        assert!(!report.applied);
+        assert_eq!(report.used, 3);
+        assert_eq!(report.missing, alg.population() - 3);
+        assert_eq!(
+            alg.counts(),
+            counts_before.as_slice(),
+            "state must not move"
+        );
+        assert_eq!(alg.iteration(), it_before, "no-op must not consume a cycle");
+    }
+
+    #[test]
+    fn gossip_duplicates_deduplicated() {
+        let mut alg = DistributedMwu::new(4, DistributedConfig::default());
+        let mut rng = SmallRng::seed_from_u64(1);
+        alg.plan(&mut rng);
+        let pop = alg.population();
+        let mut obs: Vec<GossipObservation> =
+            (0..pop).map(|j| GossipObservation::fresh(j, 0.5)).collect();
+        // Triple agent 0's observation.
+        obs.push(GossipObservation::fresh(0, 0.5));
+        obs.push(GossipObservation::fresh(0, 0.5));
+        let report = alg.update_gossip(&obs, &GossipConfig::default(), &mut rng);
+        assert!(report.applied);
+        assert_eq!(report.duplicates, 2);
+        assert_eq!(report.used, pop);
+    }
+
+    #[test]
+    fn gossip_corrupt_rewards_cannot_poison_counts() {
+        let gossip = GossipConfig {
+            quorum: 0.0,
+            ..GossipConfig::default()
+        };
+        let mut alg = DistributedMwu::new(8, DistributedConfig::default());
+        let mut rng = SmallRng::seed_from_u64(2);
+        for round in 0..200 {
+            let plan_len = {
+                alg.plan(&mut rng);
+                alg.population()
+            };
+            let obs: Vec<GossipObservation> = (0..plan_len)
+                .map(|j| {
+                    let reward = match (round + j) % 4 {
+                        0 => f64::NAN,
+                        1 => 1e15,
+                        2 => -1e15,
+                        _ => 0.5,
+                    };
+                    GossipObservation::fresh(j, reward)
+                })
+                .collect();
+            let report = alg.update_gossip(&obs, &gossip, &mut rng);
+            assert!(report.corrupt_discarded > 0);
+            assert!(report.clamped > 0);
+            let sum: u32 = alg.counts().iter().sum();
+            assert_eq!(sum as usize, alg.population());
+        }
+        assert!(alg.probabilities().iter().all(|p| p.is_finite()));
+        assert!(alg.leader_share().is_finite());
+    }
+
+    #[test]
+    fn gossip_stale_observations_discarded_past_window() {
+        let gossip = GossipConfig {
+            quorum: 0.0,
+            max_staleness: 2,
+            staleness_decay: 0.5,
+        };
+        let mut alg = DistributedMwu::new(4, DistributedConfig::default());
+        let mut rng = SmallRng::seed_from_u64(3);
+        alg.plan(&mut rng);
+        let obs = vec![
+            GossipObservation {
+                agent: 0,
+                reward: 1.0,
+                staleness: 1,
+            },
+            GossipObservation {
+                agent: 1,
+                reward: 1.0,
+                staleness: 7,
+            },
+        ];
+        let report = alg.update_gossip(&obs, &gossip, &mut rng);
+        assert_eq!(report.stale_discarded, 1);
+        assert_eq!(report.used, 1);
+    }
+
+    #[test]
+    fn gossip_is_deterministic() {
+        fn run_once() -> (Vec<u32>, usize) {
+            let mut alg = DistributedMwu::new(8, DistributedConfig::default());
+            let mut bandit = ValueBandit::bernoulli(vec![0.2, 0.2, 0.9, 0.2, 0.2, 0.2, 0.2, 0.2]);
+            drive_gossip(
+                &mut alg,
+                &mut bandit,
+                &GossipConfig::default(),
+                0.8,
+                0.1,
+                300,
+                7,
+            );
+            (alg.counts().to_vec(), alg.iteration())
+        }
+        assert_eq!(run_once(), run_once());
     }
 
     #[test]

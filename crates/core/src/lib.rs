@@ -78,13 +78,17 @@ pub use alternatives::{EpsilonGreedy, Exp3, HedgeConfig, HedgeMwu, Ucb1};
 pub use bandit::{Bandit, NoiseModel, ValueBandit};
 pub use convergence::{ConvergenceCriterion, ConvergenceState};
 pub use cost::{AsymptoticCosts, CostWeights, Variant, WeightedCostModel};
-pub use distributed::{DistributedConfig, DistributedMwu};
+pub use distributed::{
+    DistributedConfig, DistributedMwu, GossipConfig, GossipObservation, GossipReport,
+};
 pub use regret::{run_with_regret, run_with_regret_observed, RegretCurve};
 pub use run::{run_to_convergence, run_to_convergence_observed, RunConfig, RunOutcome};
 pub use schedule::LearningRate;
 pub use slate::{SlateConfig, SlateMwu};
 pub use standard::{StandardConfig, StandardMwu};
-pub use trace::{JsonlSink, MetricsSink, NullObserver, Observer, ProgressSink, Tee, TraceEvent};
+pub use trace::{
+    FaultEvent, JsonlSink, MetricsSink, NullObserver, Observer, ProgressSink, Tee, TraceEvent,
+};
 pub use weights::WeightVector;
 
 use rand::rngs::SmallRng;
@@ -159,6 +163,28 @@ pub trait MwuAlgorithm {
     fn variant(&self) -> cost::Variant;
 }
 
+/// Clamp a reward observation into the valid `[0, 1]` range, treating
+/// non-finite values as total failure.
+///
+/// This is the loss-clamping guard shared by all MWU variants: a corrupted
+/// observation (NaN from a crashed evaluator, `±inf`/huge magnitudes from a
+/// garbled message) must not be able to collapse the weight simplex. Note
+/// that a bare `f64::clamp` is *not* enough — `NaN.clamp(0.0, 1.0)` is NaN,
+/// which would propagate into every weight via the multiplicative update.
+/// NaN maps to `0.0` (no evidence of success), overlarge values saturate at
+/// the range ends.
+#[inline]
+pub fn sanitize_reward(r: f64) -> f64 {
+    if r.is_finite() {
+        r.clamp(0.0, 1.0)
+    } else if r == f64::INFINITY {
+        1.0
+    } else {
+        // NaN or -inf: no trustworthy evidence of success.
+        0.0
+    }
+}
+
 /// Communication accounting for one algorithm instance.
 ///
 /// *Congestion* is the paper's notion of communication cost (§II-C): the
@@ -206,7 +232,9 @@ impl CommStats {
 pub mod prelude {
     pub use crate::bandit::{Bandit, NoiseModel, ValueBandit};
     pub use crate::cost::{CostWeights, Variant, WeightedCostModel};
-    pub use crate::distributed::{DistributedConfig, DistributedMwu};
+    pub use crate::distributed::{
+        DistributedConfig, DistributedMwu, GossipConfig, GossipObservation, GossipReport,
+    };
     pub use crate::run::{run_to_convergence, run_to_convergence_observed, RunConfig, RunOutcome};
     pub use crate::slate::{SlateConfig, SlateMwu};
     pub use crate::standard::{StandardConfig, StandardMwu};

@@ -252,7 +252,7 @@ impl MwuAlgorithm for SlateMwu {
             .enumerate()
             .map(|(j, &arm)| {
                 let q = self.plan_q[j].max(1e-12);
-                let g_hat = rewards[j].clamp(0.0, 1.0) / q;
+                let g_hat = crate::sanitize_reward(rewards[j]) / q;
                 (arm, (self.eta * g_hat).exp())
             })
             .collect();

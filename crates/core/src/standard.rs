@@ -146,7 +146,7 @@ impl MwuAlgorithm for StandardMwu {
         // powf in the hot loop (k multiplications per cycle).
         let base = 1.0 - eta;
         self.weights.scale_all(|i| {
-            let cost = 1.0 - rewards[i].clamp(0.0, 1.0);
+            let cost = 1.0 - crate::sanitize_reward(rewards[i]);
             if cost == 0.0 {
                 1.0
             } else if cost == 1.0 {

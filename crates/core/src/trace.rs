@@ -169,6 +169,49 @@ pub struct RepairEvent {
     pub composition_size: usize,
 }
 
+/// Faults injected during one simulated-network round (the telemetry-side
+/// mirror of `simnet::FaultRoundStats` — field-for-field, but defined here
+/// because simnet sits *below* mwu-core in the dependency graph; the bridge
+/// lives in the layer that composes both, e.g. the `chaos` binary).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Round the faults were injected in (0-based).
+    pub round: usize,
+    /// Messages dropped.
+    pub dropped: u64,
+    /// Messages whose delivery was postponed.
+    pub delayed: u64,
+    /// Extra message copies injected by duplication.
+    pub duplicated: u64,
+    /// Mailboxes whose delivery order was reversed.
+    pub reordered: u64,
+    /// Agents down (crashed) this round.
+    pub crashed: u64,
+    /// Messages lost because their recipient was down on delivery.
+    pub lost_to_crash: u64,
+    /// Retransmissions scheduled.
+    pub retried: u64,
+    /// Messages abandoned after the retry cap.
+    pub retry_exhausted: u64,
+    /// Threads slowed by injected straggler latency.
+    pub stragglers: u64,
+}
+
+impl FaultEvent {
+    /// Total injected fault events.
+    pub fn total(&self) -> u64 {
+        self.dropped
+            + self.delayed
+            + self.duplicated
+            + self.reordered
+            + self.crashed
+            + self.lost_to_crash
+            + self.retried
+            + self.retry_exhausted
+            + self.stragglers
+    }
+}
+
 /// Start of one (algorithm, dataset) grid cell.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CellStartEvent {
@@ -231,6 +274,8 @@ pub enum TraceEvent {
     Probe(ProbeEvent),
     /// Early-terminating repair.
     Repair(RepairEvent),
+    /// One round's injected faults.
+    Faults(FaultEvent),
     /// Grid cell header.
     CellStart(CellStartEvent),
     /// Grid replicate footer.
@@ -291,6 +336,11 @@ pub trait Observer {
         self.on_event(&TraceEvent::Repair(e));
     }
 
+    /// One round's injected faults (fault-injection runs only).
+    fn on_faults(&mut self, e: FaultEvent) {
+        self.on_event(&TraceEvent::Faults(e));
+    }
+
     /// A grid cell is starting.
     fn on_cell_start(&mut self, e: CellStartEvent) {
         self.on_event(&TraceEvent::CellStart(e));
@@ -331,6 +381,9 @@ impl<O: Observer + ?Sized> Observer for &mut O {
     }
     fn on_repair(&mut self, e: RepairEvent) {
         (**self).on_repair(e);
+    }
+    fn on_faults(&mut self, e: FaultEvent) {
+        (**self).on_faults(e);
     }
     fn on_cell_start(&mut self, e: CellStartEvent) {
         (**self).on_cell_start(e);
@@ -383,6 +436,11 @@ impl<O: Observer> Observer for Option<O> {
     fn on_repair(&mut self, e: RepairEvent) {
         if let Some(o) = self {
             o.on_repair(e);
+        }
+    }
+    fn on_faults(&mut self, e: FaultEvent) {
+        if let Some(o) = self {
+            o.on_faults(e);
         }
     }
     fn on_cell_start(&mut self, e: CellStartEvent) {
@@ -481,6 +539,14 @@ impl<A: Observer, B: Observer> Observer for Tee<A, B> {
             self.1.on_repair(e);
         }
     }
+    fn on_faults(&mut self, e: FaultEvent) {
+        if self.0.enabled() {
+            self.0.on_faults(e);
+        }
+        if self.1.enabled() {
+            self.1.on_faults(e);
+        }
+    }
     fn on_cell_start(&mut self, e: CellStartEvent) {
         if self.0.enabled() {
             self.0.on_cell_start(e.clone());
@@ -569,6 +635,13 @@ pub struct MetricsSink {
     pub probes: Counter,
     /// Repairs observed.
     pub repairs: Counter,
+    /// Total injected faults observed (sum of [`FaultEvent::total`]).
+    pub faults: Counter,
+    /// Gossip retransmissions observed (dropped messages re-sent with
+    /// backoff).
+    pub retries: Counter,
+    /// Messages abandoned after the retry cap.
+    pub retries_exhausted: Counter,
     /// Per-cycle latency in seconds (sink-clock; empty if the sink never
     /// saw two consecutive iterations).
     pub iteration_latency: Histogram,
@@ -594,6 +667,9 @@ impl MetricsSink {
         self.convergences.merge(&other.convergences);
         self.probes.merge(&other.probes);
         self.repairs.merge(&other.repairs);
+        self.faults.merge(&other.faults);
+        self.retries.merge(&other.retries);
+        self.retries_exhausted.merge(&other.retries_exhausted);
         self.iteration_latency.merge(&other.iteration_latency);
         self.reward.merge(&other.reward);
         self.congestion.merge(&other.congestion);
@@ -603,12 +679,16 @@ impl MetricsSink {
     pub fn report(&self) -> String {
         format!(
             "runs={} iterations={} convergences={} probes={} repairs={} \
+             faults={} retries={} retries_exhausted={} \
              reward_mean={:.4} congestion_p99={:.1} latency_p50={:.6}s",
             self.runs.get(),
             self.iterations.get(),
             self.convergences.get(),
             self.probes.get(),
             self.repairs.get(),
+            self.faults.get(),
+            self.retries.get(),
+            self.retries_exhausted.get(),
             self.reward.stats().mean(),
             self.congestion.quantile(0.99),
             self.iteration_latency.quantile(0.5),
@@ -641,6 +721,12 @@ impl Observer for MetricsSink {
 
     fn on_repair(&mut self, _e: RepairEvent) {
         self.repairs.incr();
+    }
+
+    fn on_faults(&mut self, e: FaultEvent) {
+        self.faults.add(e.total());
+        self.retries.add(e.retried);
+        self.retries_exhausted.add(e.retry_exhausted);
     }
 }
 
@@ -784,6 +870,35 @@ mod tests {
         assert_eq!(a.probes.get(), 6);
         assert_eq!(a.reward.count(), 3);
         assert!(!a.report().is_empty());
+    }
+
+    #[test]
+    fn fault_events_reach_metrics_and_jsonl() {
+        let fe = FaultEvent {
+            round: 3,
+            dropped: 5,
+            delayed: 2,
+            duplicated: 1,
+            retried: 4,
+            retry_exhausted: 1,
+            stragglers: 2,
+            ..FaultEvent::default()
+        };
+        assert_eq!(fe.total(), 15);
+
+        let mut metrics = MetricsSink::new();
+        metrics.on_faults(fe);
+        assert_eq!(metrics.faults.get(), 15);
+        assert_eq!(metrics.retries.get(), 4);
+        assert_eq!(metrics.retries_exhausted.get(), 1);
+        assert!(metrics.report().contains("retries=4"));
+
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.on_faults(fe);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert!(text.starts_with("{\"Faults\":"));
+        let ev = TraceEvent::from_value(&serde::json::parse(text.trim()).unwrap()).unwrap();
+        assert_eq!(ev, TraceEvent::Faults(fe));
     }
 
     #[test]

@@ -23,6 +23,15 @@ pub struct CommonArgs {
     pub trace: Option<PathBuf>,
     /// Suppress stderr progress narration (`--quiet`).
     pub quiet: bool,
+    /// Write crash-safe run checkpoints to this path (`--checkpoint PATH`).
+    /// Binaries with a resumable driver persist state there atomically;
+    /// see `docs/FAULTS.md` for the file format.
+    pub checkpoint: Option<PathBuf>,
+    /// Resume a killed run from this checkpoint file (`--resume PATH`).
+    pub resume: Option<PathBuf>,
+    /// Probes between checkpoint writes (`--checkpoint-every N`,
+    /// default 512).
+    pub checkpoint_every: u64,
 }
 
 impl Default for CommonArgs {
@@ -35,6 +44,9 @@ impl Default for CommonArgs {
             only: None,
             trace: None,
             quiet: false,
+            checkpoint: None,
+            resume: None,
+            checkpoint_every: 512,
         }
     }
 }
@@ -78,9 +90,24 @@ impl CommonArgs {
                 "--quiet" => {
                     out.quiet = true;
                 }
+                "--checkpoint" => {
+                    let v = it.next().ok_or("--checkpoint needs a path")?;
+                    out.checkpoint = Some(PathBuf::from(v));
+                }
+                "--resume" => {
+                    let v = it.next().ok_or("--resume needs a path")?;
+                    out.resume = Some(PathBuf::from(v));
+                }
+                "--checkpoint-every" => {
+                    let v = it.next().ok_or("--checkpoint-every needs a value")?;
+                    out.checkpoint_every = v
+                        .parse()
+                        .map_err(|e| format!("--checkpoint-every {v:?}: {e}"))?;
+                }
                 "--help" | "-h" => {
                     return Err("flags: --replicates N | --seed S | --out DIR | --fast | \
-                         --only SUBSTR | --trace PATH | --quiet"
+                         --only SUBSTR | --trace PATH | --quiet | --checkpoint PATH | \
+                         --resume PATH | --checkpoint-every N"
                         .into())
                 }
                 other => return Err(format!("unknown flag {other:?} (try --help)")),
@@ -174,6 +201,18 @@ mod tests {
         assert_eq!(a.replicates, 25);
         let b = p(&["--replicates", "10", "--fast"]).unwrap();
         assert_eq!(b.replicates, 10);
+    }
+
+    #[test]
+    fn parses_checkpoint_flags() {
+        let a = p(&["--checkpoint", "/tmp/run.ckpt", "--checkpoint-every", "64"]).unwrap();
+        assert_eq!(a.checkpoint, Some(PathBuf::from("/tmp/run.ckpt")));
+        assert_eq!(a.checkpoint_every, 64);
+        assert_eq!(a.resume, None);
+        let b = p(&["--resume", "/tmp/run.ckpt"]).unwrap();
+        assert_eq!(b.resume, Some(PathBuf::from("/tmp/run.ckpt")));
+        assert!(p(&["--checkpoint-every", "many"]).is_err());
+        assert!(p(&["--resume"]).is_err());
     }
 
     #[test]

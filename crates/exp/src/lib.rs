@@ -15,6 +15,8 @@
 //! | `congestion` | §II-C — Distributed congestion vs. balls-into-bins theory |
 //! | `sync_stall` | §III-C — synchronization-stall motivation for precomputation |
 //! | `repair_comparison` | §IV-G — MWRepair vs. GenProg / RSRepair / AE |
+//! | `chaos` | robustness — convergence degradation under injected faults (docs/FAULTS.md) |
+//! | `mwrepair_run` | robustness — crash-safe MWRepair with `--checkpoint` / `--resume` / `--halt-after` |
 //!
 //! Every binary prints the paper-shaped table to stdout and writes CSV into
 //! `results/`. Common flags: `--replicates N` (default 100, the paper's

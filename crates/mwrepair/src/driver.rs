@@ -23,6 +23,7 @@
 //! curve of Fig. 4b. [`RewardMode::FitnessRetained`] is the literal Fig. 6
 //! rule, kept for ablation.
 
+use crate::checkpoint::{Checkpoint, CheckpointError};
 use crate::report::{RepairOutcome, RepairReport};
 use apr_sim::{BugScenario, CostLedger, Mutation, MutationPool};
 use mwu_core::rng::mix;
@@ -38,6 +39,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
 
 /// How probe outcomes map to bandit rewards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -130,6 +132,65 @@ pub fn repair_observed<A: MwuAlgorithm, O: Observer>(
     ledger: Option<&CostLedger>,
     observer: &mut O,
 ) -> RepairOutcome {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let (outcome, _halted) = run_loop(
+        scenario,
+        pool,
+        alg,
+        config,
+        ledger,
+        observer,
+        &mut rng,
+        0,
+        0,
+        false,
+        None,
+        |_: CheckpointArgs<'_, A>| Ok(()),
+    )
+    .expect("no-op checkpoint hook cannot fail");
+    outcome
+}
+
+/// State handed to the checkpoint hook after each completed update cycle.
+struct CheckpointArgs<'a, A> {
+    alg: &'a A,
+    /// Completed update cycles (absolute).
+    iteration: usize,
+    /// Probes issued so far (absolute).
+    probes: u64,
+    rng: &'a SmallRng,
+    convergence_reported: bool,
+    /// True when the session is about to halt: the hook must persist state
+    /// now regardless of its cadence policy.
+    force: bool,
+}
+
+/// The Fig. 6 update-cycle loop, shared by [`repair_observed`] (hook is a
+/// no-op) and [`repair_resumable`] (hook writes checkpoints). Starts at
+/// absolute iteration `start_iteration` with `init_probes` probes already
+/// accounted; `halt_after` bounds the number of cycles executed *in this
+/// call* (cooperative kill). Returns the outcome plus whether the session
+/// halted early.
+#[allow(clippy::too_many_arguments)]
+fn run_loop<A, O, F>(
+    scenario: &BugScenario,
+    pool: &MutationPool,
+    alg: &mut A,
+    config: &MwRepairConfig,
+    ledger: Option<&CostLedger>,
+    observer: &mut O,
+    rng: &mut SmallRng,
+    start_iteration: usize,
+    init_probes: u64,
+    init_convergence_reported: bool,
+    halt_after: Option<usize>,
+    mut checkpoint_hook: F,
+) -> Result<(RepairOutcome, bool), CheckpointError>
+where
+    A: MwuAlgorithm,
+    O: Observer,
+    F: FnMut(CheckpointArgs<'_, A>) -> Result<(), CheckpointError>,
+{
     assert!(!pool.is_empty(), "online phase needs a non-empty pool");
     let arms = effective_arms(pool.len(), config);
     assert_eq!(
@@ -138,11 +199,11 @@ pub fn repair_observed<A: MwuAlgorithm, O: Observer>(
         "algorithm arms must match effective_arms(pool, config) (arm i = compose i+1 mutations)"
     );
     let x_max = arms as f64;
-    let mut rng = SmallRng::seed_from_u64(config.seed);
-    let mut probes_total: u64 = 0;
+    let mut probes_total: u64 = init_probes;
     let mut found: Option<RepairReport> = None;
-    let mut iterations = 0;
-    let mut convergence_reported = false;
+    let mut iterations = start_iteration;
+    let mut convergence_reported = init_convergence_reported;
+    let mut halted = false;
 
     if observer.enabled() {
         observer.on_run_start(RunStartEvent {
@@ -154,13 +215,25 @@ pub fn repair_observed<A: MwuAlgorithm, O: Observer>(
         });
     }
 
-    'outer: for t in 0..config.max_iterations {
+    'outer: for t in start_iteration..config.max_iterations {
+        if halt_after == Some(t - start_iteration) {
+            halted = true;
+            checkpoint_hook(CheckpointArgs {
+                alg,
+                iteration: iterations,
+                probes: probes_total,
+                rng,
+                convergence_reported,
+                force: true,
+            })?;
+            break 'outer;
+        }
         let comm_before = if observer.enabled() {
             alg.comm_stats()
         } else {
             mwu_core::CommStats::default()
         };
-        let plan = alg.plan(&mut rng);
+        let plan = alg.plan(rng);
         iterations = t + 1;
         probes_total += plan.len() as u64;
 
@@ -249,7 +322,7 @@ pub fn repair_observed<A: MwuAlgorithm, O: Observer>(
         }
 
         let rewards: Vec<f64> = results.iter().map(|r| r.reward).collect();
-        alg.update(&rewards, &mut rng);
+        alg.update(&rewards, rng);
 
         if observer.enabled() {
             observer.on_iteration(IterationEvent {
@@ -269,9 +342,18 @@ pub fn repair_observed<A: MwuAlgorithm, O: Observer>(
                 });
             }
         }
+
+        checkpoint_hook(CheckpointArgs {
+            alg,
+            iteration: t + 1,
+            probes: probes_total,
+            rng,
+            convergence_reported,
+            force: false,
+        })?;
     }
 
-    if observer.enabled() {
+    if observer.enabled() && !halted {
         observer.on_run_end(RunOutcome {
             algorithm: alg.name(),
             iterations,
@@ -285,20 +367,192 @@ pub fn repair_observed<A: MwuAlgorithm, O: Observer>(
         });
     }
 
-    RepairOutcome {
+    let outcome = RepairOutcome {
         repair: found,
         iterations,
         probes: probes_total,
         cost: match ledger {
             Some(l) => l.snapshot(),
-            None => apr_sim::ledger::CostSnapshot {
-                fitness_evals: probes_total,
-                simulated_ms: probes_total * scenario.suite.full_run_cost_ms(),
-                critical_path_ms: iterations as u64 * scenario.suite.full_run_cost_ms(),
-            },
+            None => fallback_cost(scenario, probes_total, iterations),
         },
         leader_arm: alg.leader() + 1,
         mwu_converged: alg.has_converged(),
+    };
+    Ok((outcome, halted))
+}
+
+/// Cost attribution when no ledger is shared: every probe costs one full
+/// suite run, and each iteration's parallel phase contributes one full run
+/// to the critical path. Uses *absolute* totals so a resumed run reports
+/// the same cost as an uninterrupted one.
+fn fallback_cost(
+    scenario: &BugScenario,
+    probes_total: u64,
+    iterations: usize,
+) -> apr_sim::ledger::CostSnapshot {
+    apr_sim::ledger::CostSnapshot {
+        fitness_evals: probes_total,
+        simulated_ms: probes_total * scenario.suite.full_run_cost_ms(),
+        critical_path_ms: iterations as u64 * scenario.suite.full_run_cost_ms(),
+    }
+}
+
+/// When and where [`repair_resumable`] persists checkpoints.
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy {
+    /// Destination file (written atomically via tmp + rename).
+    pub path: PathBuf,
+    /// Write a checkpoint once at least this many probes have been issued
+    /// since the last one. `0` checkpoints after every update cycle.
+    pub every_probes: u64,
+}
+
+impl CheckpointPolicy {
+    /// Checkpoint to `path` every `every_probes` probes.
+    pub fn new(path: impl Into<PathBuf>, every_probes: u64) -> Self {
+        Self {
+            path: path.into(),
+            every_probes,
+        }
+    }
+}
+
+/// Session controls for [`repair_resumable`]: checkpoint cadence and an
+/// optional cooperative halt (used by tests and the chaos harness to model
+/// a kill at a known point).
+#[derive(Debug, Clone, Default)]
+pub struct SessionControl {
+    /// Persist checkpoints per this policy. `None`: never write to disk
+    /// (halting still returns an in-memory [`Checkpoint`]).
+    pub checkpoint: Option<CheckpointPolicy>,
+    /// Stop after this many update cycles *in this session* and return
+    /// [`SessionResult::Halted`]. `None`: run to completion.
+    pub halt_after_iterations: Option<usize>,
+}
+
+/// How a [`repair_resumable`] session ended.
+#[derive(Debug, Clone)]
+pub enum SessionResult {
+    /// The run finished: a repair was found or `max_iterations` elapsed.
+    Complete(RepairOutcome),
+    /// The session halted cooperatively; `checkpoint` resumes it.
+    Halted {
+        /// State at the halt point (also written to the policy path, if any).
+        checkpoint: Box<Checkpoint>,
+    },
+}
+
+impl SessionResult {
+    /// The outcome, if the run completed.
+    pub fn outcome(self) -> Option<RepairOutcome> {
+        match self {
+            SessionResult::Complete(o) => Some(o),
+            SessionResult::Halted { .. } => None,
+        }
+    }
+}
+
+/// [`repair_observed`] with crash-safe checkpoint / resume.
+///
+/// Starting fresh: pass `resume: None`; `alg` is used as constructed.
+/// Resuming: pass the loaded [`Checkpoint`]; `alg`'s state is *overwritten*
+/// from it (the caller constructs any instance of the right variant and
+/// arm count), the master RNG continues from its saved position, and the
+/// absolute iteration / probe counters carry over, so the completed run's
+/// [`RepairOutcome`] is identical to an uninterrupted same-seed run. If a
+/// `ledger` is shared, its totals are restored from the checkpoint too.
+///
+/// Checkpoints are written per `session.checkpoint` after completed update
+/// cycles; a cooperative halt (`session.halt_after_iterations`) always
+/// writes a final checkpoint before returning [`SessionResult::Halted`].
+#[allow(clippy::too_many_arguments)]
+pub fn repair_resumable<A, O>(
+    scenario: &BugScenario,
+    pool: &MutationPool,
+    alg: &mut A,
+    config: &MwRepairConfig,
+    ledger: Option<&CostLedger>,
+    observer: &mut O,
+    session: &SessionControl,
+    resume: Option<&Checkpoint>,
+) -> Result<SessionResult, CheckpointError>
+where
+    A: MwuAlgorithm + serde::Serialize + serde::Deserialize,
+    O: Observer,
+{
+    let (start_iteration, init_probes, init_convergence_reported, mut rng) = match resume {
+        Some(ck) => {
+            ck.validate_against(alg.name(), config)?;
+            *alg = ck.restore_algorithm()?;
+            if let Some(l) = ledger {
+                l.restore(ck.cost);
+            }
+            (
+                ck.iteration,
+                ck.probes,
+                ck.convergence_reported,
+                ck.restore_rng(),
+            )
+        }
+        None => (0, 0, false, SmallRng::seed_from_u64(config.seed)),
+    };
+
+    let mut last_saved: Option<Checkpoint> = None;
+    let mut probes_at_last_save = init_probes;
+    let policy = session.checkpoint.as_ref();
+    let (outcome, halted) = {
+        let last_saved = &mut last_saved;
+        let probes_at_last_save = &mut probes_at_last_save;
+        run_loop(
+            scenario,
+            pool,
+            alg,
+            config,
+            ledger,
+            observer,
+            &mut rng,
+            start_iteration,
+            init_probes,
+            init_convergence_reported,
+            session.halt_after_iterations,
+            |args: CheckpointArgs<'_, A>| {
+                let due = match policy {
+                    Some(p) => args.probes - *probes_at_last_save >= p.every_probes,
+                    None => false,
+                };
+                if !(due || args.force) {
+                    return Ok(());
+                }
+                let cost = match ledger {
+                    Some(l) => l.snapshot(),
+                    None => fallback_cost(scenario, args.probes, args.iteration),
+                };
+                let ck = Checkpoint::capture(
+                    args.alg,
+                    config,
+                    args.iteration,
+                    args.probes,
+                    args.rng,
+                    cost,
+                    args.convergence_reported,
+                );
+                if let Some(p) = policy {
+                    ck.save_atomic(&p.path)?;
+                }
+                *probes_at_last_save = args.probes;
+                *last_saved = Some(ck);
+                Ok(())
+            },
+        )?
+    };
+
+    if halted {
+        let checkpoint = last_saved.expect("halt always captures a checkpoint");
+        Ok(SessionResult::Halted {
+            checkpoint: Box::new(checkpoint),
+        })
+    } else {
+        Ok(SessionResult::Complete(outcome))
     }
 }
 
@@ -501,6 +755,174 @@ mod tests {
         );
         assert_eq!(ledger.fitness_evals(), out.probes);
         assert!(ledger.critical_path_ms() <= ledger.simulated_ms());
+    }
+
+    #[test]
+    fn halted_and_resumed_run_matches_uninterrupted() {
+        // A scenario with repair_rate 0 runs the full horizon, so the
+        // comparison exercises every iteration including convergence.
+        let s = BugScenario::custom("resume", ScenarioKind::Synthetic, 60, 12, 300, 15, 0.0, 31);
+        let pool = s.build_pool(1, None);
+        let cfg = MwRepairConfig {
+            max_iterations: 120,
+            seed: 17,
+            reward: RewardMode::DensityProxy,
+            max_composition: 512,
+        };
+        let arms = effective_arms(pool.len(), &cfg);
+
+        let mut alg = SlateMwu::new(arms, SlateConfig::default());
+        let uninterrupted = repair(&s, &pool, &mut alg, &cfg);
+
+        // Kill after 40 iterations, then resume from the in-memory
+        // checkpoint with a *fresh* algorithm instance.
+        let mut alg1 = SlateMwu::new(arms, SlateConfig::default());
+        let session = SessionControl {
+            checkpoint: None,
+            halt_after_iterations: Some(40),
+        };
+        let halted = repair_resumable(
+            &s,
+            &pool,
+            &mut alg1,
+            &cfg,
+            None,
+            &mut NullObserver,
+            &session,
+            None,
+        )
+        .unwrap();
+        let ck = match halted {
+            SessionResult::Halted { checkpoint } => checkpoint,
+            SessionResult::Complete(_) => panic!("expected halt at 40 iterations"),
+        };
+        assert_eq!(ck.iteration, 40);
+
+        let mut alg2 = SlateMwu::new(arms, SlateConfig::default());
+        let resumed = repair_resumable(
+            &s,
+            &pool,
+            &mut alg2,
+            &cfg,
+            None,
+            &mut NullObserver,
+            &SessionControl::default(),
+            Some(&ck),
+        )
+        .unwrap()
+        .outcome()
+        .expect("resumed run should complete");
+
+        assert_eq!(resumed, uninterrupted);
+    }
+
+    #[test]
+    fn resume_via_checkpoint_file_round_trip() {
+        // Repair-free scenario so the halt point is always reached.
+        let s = BugScenario::custom(
+            "resume-io",
+            ScenarioKind::Synthetic,
+            60,
+            12,
+            300,
+            15,
+            0.0,
+            33,
+        );
+        let pool = s.build_pool(1, None);
+        let cfg = MwRepairConfig {
+            max_iterations: 30,
+            seed: 3,
+            reward: RewardMode::DensityProxy,
+            max_composition: 512,
+        };
+        let arms = effective_arms(pool.len(), &cfg);
+
+        let mut alg = SlateMwu::new(arms, SlateConfig::default());
+        let uninterrupted = repair(&s, &pool, &mut alg, &cfg);
+
+        let dir = std::env::temp_dir().join(format!("mwr-resume-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("grid.ckpt");
+
+        // Checkpoint to disk every 8 probes; halt after 2 iterations.
+        let mut alg1 = SlateMwu::new(arms, SlateConfig::default());
+        let session = SessionControl {
+            checkpoint: Some(CheckpointPolicy::new(&path, 8)),
+            halt_after_iterations: Some(2),
+        };
+        let halted = repair_resumable(
+            &s,
+            &pool,
+            &mut alg1,
+            &cfg,
+            None,
+            &mut NullObserver,
+            &session,
+            None,
+        )
+        .unwrap();
+        assert!(matches!(halted, SessionResult::Halted { .. }));
+
+        // Resume purely from the file, as the binaries do.
+        let ck = crate::checkpoint::Checkpoint::load(&path).unwrap();
+        let mut alg2 = SlateMwu::new(arms, SlateConfig::default());
+        let resumed = repair_resumable(
+            &s,
+            &pool,
+            &mut alg2,
+            &cfg,
+            None,
+            &mut NullObserver,
+            &SessionControl::default(),
+            Some(&ck),
+        )
+        .unwrap()
+        .outcome()
+        .unwrap();
+
+        assert_eq!(resumed, uninterrupted);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_config() {
+        let (s, pool) = small_scenario();
+        let cfg = MwRepairConfig::seeded(3);
+        let arms = effective_arms(pool.len(), &cfg);
+        let mut alg = SlateMwu::new(arms, SlateConfig::default());
+        let session = SessionControl {
+            checkpoint: None,
+            // Halt before the first iteration: always reachable, even when
+            // the scenario repairs immediately.
+            halt_after_iterations: Some(0),
+        };
+        let SessionResult::Halted { checkpoint } = repair_resumable(
+            &s,
+            &pool,
+            &mut alg,
+            &cfg,
+            None,
+            &mut NullObserver,
+            &session,
+            None,
+        )
+        .unwrap() else {
+            panic!("expected halt");
+        };
+        let other_cfg = MwRepairConfig::seeded(4);
+        let mut alg2 = SlateMwu::new(arms, SlateConfig::default());
+        assert!(repair_resumable(
+            &s,
+            &pool,
+            &mut alg2,
+            &other_cfg,
+            None,
+            &mut NullObserver,
+            &SessionControl::default(),
+            Some(&checkpoint),
+        )
+        .is_err());
     }
 
     #[test]

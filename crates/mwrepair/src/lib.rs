@@ -37,13 +37,16 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod checkpoint;
 pub mod driver;
 pub mod minimize;
 pub mod report;
 
+pub use checkpoint::{Checkpoint, CheckpointError, CHECKPOINT_VERSION};
 pub use driver::{
-    effective_arms, repair, repair_observed, repair_with_ledger, repair_with_variant,
-    MwRepairConfig, RewardMode, VariantChoice,
+    effective_arms, repair, repair_observed, repair_resumable, repair_with_ledger,
+    repair_with_variant, CheckpointPolicy, MwRepairConfig, RewardMode, SessionControl,
+    SessionResult, VariantChoice,
 };
 pub use minimize::{minimize_patch, MinimizedPatch};
 pub use report::{RepairOutcome, RepairReport};

@@ -65,14 +65,14 @@ impl<'a> Context<'a> {
     }
 
     /// Queue the same payload to every other agent (broadcast).
+    ///
+    /// Routed through [`Context::send`] so broadcast and point-to-point
+    /// traffic share one delivery path — fault injection, byte counting,
+    /// and range checks cannot diverge between the two.
     pub fn broadcast(&mut self, payload: Bytes) {
         for to in 0..self.n_agents {
             if to != self.id {
-                self.outbox.push(Message {
-                    from: self.id,
-                    to,
-                    payload: payload.clone(),
-                });
+                self.send(to, payload.clone());
             }
         }
     }

@@ -14,6 +14,7 @@
 //! measured directly. The `sync_stall` experiment binary and a Criterion
 //! bench regenerate the §III-C numbers with this.
 
+use crate::faults::FaultPlan;
 use crossbeam::thread;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -70,6 +71,9 @@ pub struct RoundEvent {
     /// total_busy` under [`SyncMode::Barrier`] (every thread waits for the
     /// slowest), zero under [`SyncMode::Free`].
     pub stall: Duration,
+    /// Threads slowed by an injected straggler fault this round (always 0
+    /// without a fault plan — see [`ThreadPool::run_rounds_faulty`]).
+    pub stragglers: u64,
 }
 
 /// Receives one [`RoundEvent`] per executed round. The simnet crate stands
@@ -159,6 +163,43 @@ impl ThreadPool {
         F: Fn(usize, usize) + Sync,
         O: RoundObserver,
     {
+        self.run_rounds_inner(rounds, mode, work, observer, None)
+    }
+
+    /// [`run_rounds_observed`](Self::run_rounds_observed) under a fault
+    /// plan: each (thread, round) pair consults
+    /// [`FaultPlan::straggler_us`] and, when straggling, spins for the
+    /// configured extra latency *inside* its busy window — modeling the
+    /// slow-thread regime of §III-C (under [`SyncMode::Barrier`] every
+    /// other thread absorbs the straggler's latency as stall). Straggler
+    /// hits are reported per round in [`RoundEvent::stragglers`].
+    pub fn run_rounds_faulty<F, O>(
+        &self,
+        rounds: usize,
+        mode: SyncMode,
+        work: F,
+        observer: &mut O,
+        plan: &FaultPlan,
+    ) -> WorkResult
+    where
+        F: Fn(usize, usize) + Sync,
+        O: RoundObserver,
+    {
+        self.run_rounds_inner(rounds, mode, work, observer, Some(plan))
+    }
+
+    fn run_rounds_inner<F, O>(
+        &self,
+        rounds: usize,
+        mode: SyncMode,
+        work: F,
+        observer: &mut O,
+        plan: Option<&FaultPlan>,
+    ) -> WorkResult
+    where
+        F: Fn(usize, usize) + Sync,
+        O: RoundObserver,
+    {
         let n = self.n_threads;
         let record = observer.enabled();
         let barrier = Barrier::new(n);
@@ -182,6 +223,12 @@ impl ThreadPool {
                     for r in 0..rounds {
                         let w0 = Instant::now();
                         work(tid, r);
+                        if let Some(p) = plan {
+                            let extra = p.straggler_us(tid, r);
+                            if extra > 0 {
+                                spin_for_micros(extra);
+                            }
+                        }
                         let d = w0.elapsed();
                         busy += d;
                         if record {
@@ -216,12 +263,16 @@ impl ThreadPool {
                     SyncMode::Barrier => max_busy * n as u32 - total_busy,
                     SyncMode::Free => Duration::ZERO,
                 };
+                let stragglers = plan.map_or(0, |p| {
+                    (0..n).filter(|&tid| p.straggler_us(tid, r) > 0).count() as u64
+                });
                 observer.on_round(RoundEvent {
                     round: r,
                     max_busy,
                     min_busy,
                     total_busy,
                     stall,
+                    stragglers,
                 });
             }
         }
@@ -368,6 +419,62 @@ mod tests {
         let mut obs = Collect(Vec::new());
         pool.run_rounds_observed(4, SyncMode::Free, |_, _| spin_for_micros(10), &mut obs);
         assert!(obs.0.iter().all(|e| e.stall == Duration::ZERO));
+    }
+
+    #[test]
+    fn stragglers_injected_and_reported() {
+        use crate::faults::{FaultConfig, FaultPlan};
+        struct Collect(Vec<RoundEvent>);
+        impl RoundObserver for Collect {
+            fn on_round(&mut self, e: RoundEvent) {
+                self.0.push(e);
+            }
+        }
+        let plan = FaultPlan::new(
+            3,
+            FaultConfig {
+                straggler_rate: 0.5,
+                straggler_extra_us: 100,
+                ..FaultConfig::default()
+            },
+        );
+        let pool = ThreadPool::new(2);
+        let mut obs = Collect(Vec::new());
+        pool.run_rounds_faulty(20, SyncMode::Free, |_, _| {}, &mut obs, &plan);
+        assert_eq!(obs.0.len(), 20);
+        let total: u64 = obs.0.iter().map(|e| e.stragglers).sum();
+        assert!(total > 0, "rate 0.5 over 40 draws should straggle");
+        // A round where every thread straggled has a correspondingly
+        // inflated minimum busy time (the work closure itself is empty).
+        for e in obs.0.iter().filter(|e| e.stragglers == 2) {
+            assert!(
+                e.min_busy >= Duration::from_micros(80),
+                "straggling round {} min_busy {:?}",
+                e.round,
+                e.min_busy
+            );
+        }
+    }
+
+    #[test]
+    fn quiescent_plan_reports_no_stragglers() {
+        use crate::faults::FaultPlan;
+        struct Collect(u64);
+        impl RoundObserver for Collect {
+            fn on_round(&mut self, e: RoundEvent) {
+                self.0 += e.stragglers;
+            }
+        }
+        let pool = ThreadPool::new(2);
+        let mut obs = Collect(0);
+        pool.run_rounds_faulty(
+            5,
+            SyncMode::Barrier,
+            |_, _| {},
+            &mut obs,
+            &FaultPlan::quiescent(),
+        );
+        assert_eq!(obs.0, 0);
     }
 
     #[test]

@@ -22,6 +22,13 @@
 //! [`congestion`] contains the balls-into-bins machinery behind
 //! Distributed's `Θ(ln n / ln ln n)` congestion bound, both simulated and
 //! in closed form.
+//!
+//! [`faults`] provides the deterministic adversary for both substrates: a
+//! seeded [`faults::FaultPlan`] that the [`network::Network`] delivery path
+//! and the [`executor::ThreadPool`] consult to drop, delay, duplicate, and
+//! reorder messages, crash/restart agents, and inject stragglers — with
+//! per-round counts folded into [`stats::RoundStats`] and
+//! [`executor::RoundEvent`] so every injected fault is observable.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -29,6 +36,7 @@
 pub mod agent;
 pub mod congestion;
 pub mod executor;
+pub mod faults;
 pub mod network;
 pub mod stats;
 pub mod topology;
@@ -38,6 +46,7 @@ pub use congestion::{balls_into_bins_max, expected_max_load};
 pub use executor::{
     NullRoundObserver, RoundEvent, RoundObserver, SyncMode, ThreadPool, WorkResult,
 };
+pub use faults::{FaultConfig, FaultPlan, FaultRoundStats, MessageFate, RetryPolicy};
 pub use network::Network;
 pub use stats::{NetStats, RoundStats};
 pub use topology::Topology;

@@ -1,5 +1,6 @@
 //! Per-round and cumulative network statistics.
 
+use crate::faults::FaultRoundStats;
 use serde::{Deserialize, Serialize};
 
 /// Communication statistics for one round of a [`crate::Network`].
@@ -16,6 +17,8 @@ pub struct RoundStats {
     pub max_in_degree: usize,
     /// Maximum out-degree: the most messages any single agent sent.
     pub max_out_degree: usize,
+    /// Faults injected this round (all-zero when no plan is installed).
+    pub faults: FaultRoundStats,
 }
 
 /// Cumulative statistics over a whole [`crate::Network`] execution.
@@ -31,6 +34,8 @@ pub struct NetStats {
     pub peak_congestion: usize,
     /// Sum of per-round max in-degrees (divide by `rounds` for the mean).
     pub total_congestion: u64,
+    /// Cumulative injected-fault counts over all rounds.
+    pub faults: FaultRoundStats,
 }
 
 impl NetStats {
@@ -43,6 +48,7 @@ impl NetStats {
         if r.max_in_degree > self.peak_congestion {
             self.peak_congestion = r.max_in_degree;
         }
+        self.faults.absorb(&r.faults);
     }
 
     /// Mean per-round congestion.
@@ -68,6 +74,10 @@ mod tests {
             bytes: 100,
             max_in_degree: 3,
             max_out_degree: 2,
+            faults: FaultRoundStats {
+                dropped: 2,
+                ..FaultRoundStats::default()
+            },
         });
         s.absorb(&RoundStats {
             round: 1,
@@ -75,12 +85,19 @@ mod tests {
             bytes: 50,
             max_in_degree: 7,
             max_out_degree: 1,
+            faults: FaultRoundStats {
+                dropped: 1,
+                delayed: 4,
+                ..FaultRoundStats::default()
+            },
         });
         assert_eq!(s.rounds, 2);
         assert_eq!(s.messages, 15);
         assert_eq!(s.bytes, 150);
         assert_eq!(s.peak_congestion, 7);
         assert!((s.mean_congestion() - 5.0).abs() < 1e-12);
+        assert_eq!(s.faults.dropped, 3);
+        assert_eq!(s.faults.delayed, 4);
     }
 
     #[test]
