@@ -1,0 +1,76 @@
+//! Thread-pool scaling of the two embarrassingly parallel hot loops: a
+//! Table II grid cell (replicates over rayon workers) and the Fig. 5
+//! phase-1 precompute (safety screening over candidate mutations), each at
+//! 1/2/4/8 participating threads.
+//!
+//! The pool is sized once at 8; each measurement runs under
+//! `rayon::with_max_threads`, so one `cargo bench` run produces the whole
+//! scaling curve. `bench_grid` (the standalone binary) covers the full
+//! grid and emits `BENCH_grid.json`; this benchmark is the statistically
+//! rigorous single-cell view.
+
+use apr_sim::{BugScenario, ScenarioKind};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mwu_core::Variant;
+use mwu_datasets::full_catalog;
+use mwu_experiments::{run_cell, GridConfig};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench_grid_cell(c: &mut Criterion) {
+    rayon::set_num_threads(8);
+    let dataset = full_catalog()
+        .into_iter()
+        .find(|d| d.name == "random256")
+        .expect("catalog dataset");
+    let config = GridConfig {
+        replicates: 16,
+        max_iterations: 5_000,
+        seed: 0xEED5,
+    };
+    let mut group = c.benchmark_group("par_scaling/grid_cell");
+    group.sample_size(10);
+    for &threads in &THREAD_COUNTS {
+        group.bench_with_input(
+            BenchmarkId::new("standard_random256", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    rayon::with_max_threads(threads, || {
+                        run_cell(Variant::Standard, &dataset, &config)
+                    })
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_precompute(c: &mut Criterion) {
+    rayon::set_num_threads(8);
+    let scenario = BugScenario::custom(
+        "par-bench",
+        ScenarioKind::Synthetic,
+        120,
+        24,
+        900,
+        30,
+        0.3,
+        5,
+    );
+    let mut group = c.benchmark_group("par_scaling/precompute");
+    group.sample_size(10);
+    for &threads in &THREAD_COUNTS {
+        group.bench_with_input(
+            BenchmarkId::new("pool_build", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| rayon::with_max_threads(threads, || scenario.build_pool(5, None)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grid_cell, bench_precompute);
+criterion_main!(benches);

@@ -13,6 +13,9 @@
 //! * `congestion` — Table I communication entries.
 //! * `convergence_cells` — Tables II–IV cell units + convergence-criterion
 //!   ablation.
+//! * `par_scaling` — thread-pool scaling (1/2/4/8 threads) of a grid cell
+//!   and the Fig. 5 phase-1 precompute; the statistically rigorous
+//!   companion to the `bench_grid` binary's `BENCH_grid.json`.
 //!
 //! Run with `cargo bench -p mwu-bench` (or a single target via
 //! `cargo bench -p mwu-bench --bench slate_sampling`).

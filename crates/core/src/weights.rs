@@ -165,6 +165,13 @@ impl WeightVector {
             cap * k as f64 >= 1.0 - 1e-12,
             "cap {cap} too small for {k} options"
         );
+        if cap * k as f64 <= 1.0 + 1e-12 {
+            // Boundary cap == 1/k: the uniform vector is the only feasible
+            // point. Return it directly — water-filling here would divide
+            // a ~0 remainder by a ~0 free mass and let rounding decide
+            // whether the result lands on the simplex at all.
+            return WeightVector::uniform(k);
+        }
         let mut p = self.p.clone();
         let mut fixed = vec![false; k];
         loop {
@@ -389,5 +396,45 @@ mod tests {
             w.scale_all(|i| if i == 1 { 1.0 } else { 0.1 });
         }
         assert!(w.entropy() < 1e-6);
+    }
+
+    #[test]
+    fn entropy_skips_exact_zero_coordinates() {
+        // Regression: 0·ln(0) terms must be skipped, not folded in as NaN.
+        let w = WeightVector::from_weights(&[0.5, 0.0, 0.5]);
+        assert!((w.entropy() - (2f64).ln()).abs() < 1e-12);
+        // Negative zero (reachable through float arithmetic) too.
+        let z = WeightVector::from_weights(&[1.0, -0.0]);
+        assert!(z.entropy().is_finite());
+        assert!(z.entropy().abs() < 1e-12);
+        let point = WeightVector::from_weights(&[0.0, 1.0, 0.0, 0.0]);
+        assert_eq!(point.entropy(), 0.0);
+    }
+
+    #[test]
+    fn capped_at_exact_boundary_returns_uniform() {
+        // Regression: cap == 1/k sits on the feasibility boundary. The
+        // result must be exactly the uniform vector (bitwise), with no
+        // coordinate above the cap even at eps = 0.
+        for k in 2..=64usize {
+            let mut w = WeightVector::uniform(k);
+            w.scale_all(|i| (i + 1) as f64);
+            let cap = 1.0 / k as f64;
+            let c = w.capped(cap);
+            let u = WeightVector::uniform(k);
+            assert_eq!(c.probabilities(), u.probabilities(), "k = {k}");
+            assert!(!c.exceeds_cap(cap, 0.0), "k = {k}");
+            assert_simplex(&c);
+        }
+    }
+
+    #[test]
+    fn capped_just_above_boundary_stays_feasible() {
+        let w = WeightVector::from_weights(&[10.0, 1.0, 1.0, 1.0]);
+        let cap = 0.25 * (1.0 + 1e-10);
+        let c = w.capped(cap);
+        assert_simplex(&c);
+        assert!(!c.exceeds_cap(cap, 1e-12));
+        assert!(c.probabilities().iter().all(|p| p.is_finite()));
     }
 }

@@ -1,0 +1,151 @@
+//! Wall-clock scaling of the experiment grid: times every `table2` cell at
+//! 1/2/4/8 threads inside one process and writes `BENCH_grid.json`.
+//!
+//! The pool is sized once at the largest measured count and each sweep runs
+//! under `rayon::with_max_threads(c, ..)`, so a single invocation yields
+//! the whole scaling curve. Every cell's `CellResult` is serialized and
+//! compared across thread counts — the run aborts if any cell's output is
+//! not byte-identical, so this binary doubles as a determinism check.
+//!
+//! Flags are the common set (`--replicates`, `--only`, `--fast`, `--out`,
+//! `--seed`, `--quiet`); `--threads N` restricts the sweep to counts ≤ N.
+
+use mwu_core::Variant;
+use mwu_datasets::full_catalog;
+use mwu_experiments::{run_cell, CommonArgs, GridConfig};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct CellTiming {
+    dataset: String,
+    size: usize,
+    algorithm: String,
+    threads: usize,
+    wall_ms: f64,
+    replicates: u64,
+    converged: u64,
+    intractable: bool,
+}
+
+#[derive(Serialize)]
+struct TotalTiming {
+    threads: usize,
+    wall_ms: f64,
+    speedup_vs_1: f64,
+}
+
+#[derive(Serialize)]
+struct BenchGrid {
+    schema: String,
+    pool_threads: usize,
+    thread_counts: Vec<usize>,
+    replicates: usize,
+    datasets: usize,
+    deterministic_across_thread_counts: bool,
+    cells: Vec<CellTiming>,
+    totals: Vec<TotalTiming>,
+}
+
+fn main() {
+    let args = CommonArgs::from_env();
+    // Sweep counts must not exceed the pool: a cap above the pool size
+    // would silently measure the pool size instead.
+    if args.threads.is_none() {
+        rayon::set_num_threads(8);
+    }
+    let pool_threads = rayon::current_num_threads();
+    let thread_counts: Vec<usize> = [1usize, 2, 4, 8]
+        .into_iter()
+        .filter(|&c| c <= pool_threads)
+        .collect();
+
+    let datasets: Vec<_> = full_catalog()
+        .into_iter()
+        .filter(|d| args.selects(&d.name))
+        .collect();
+    let config = GridConfig {
+        replicates: args.replicates,
+        max_iterations: 10_000,
+        seed: args.seed,
+    };
+    if !args.quiet {
+        eprintln!(
+            "bench_grid: {} datasets x 3 algorithms x {} replicates at {:?} threads (pool {})",
+            datasets.len(),
+            config.replicates,
+            thread_counts,
+            pool_threads
+        );
+    }
+
+    let mut cells = Vec::new();
+    let mut totals = Vec::new();
+    // Serialized CellResults of the first sweep; later sweeps must match.
+    let mut reference: Vec<String> = Vec::new();
+    let mut deterministic = true;
+    let mut base_ms = None;
+    for &threads in &thread_counts {
+        let sweep_start = Instant::now();
+        let mut sweep_results = Vec::new();
+        for d in &datasets {
+            for &alg in &[Variant::Standard, Variant::Distributed, Variant::Slate] {
+                let start = Instant::now();
+                let cell = rayon::with_max_threads(threads, || run_cell(alg, d, &config));
+                let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+                cells.push(CellTiming {
+                    dataset: d.name.clone(),
+                    size: d.size(),
+                    algorithm: alg.to_string(),
+                    threads,
+                    wall_ms,
+                    replicates: cell.replicates,
+                    converged: cell.converged,
+                    intractable: cell.intractable,
+                });
+                sweep_results.push(serde_json::to_string(&cell).expect("serialize cell"));
+            }
+        }
+        let wall_ms = sweep_start.elapsed().as_secs_f64() * 1e3;
+        if reference.is_empty() {
+            reference = sweep_results;
+        } else if reference != sweep_results {
+            deterministic = false;
+            eprintln!("error: cell results at {threads} threads differ from the first sweep");
+        }
+        let base = *base_ms.get_or_insert(wall_ms);
+        totals.push(TotalTiming {
+            threads,
+            wall_ms,
+            speedup_vs_1: base / wall_ms,
+        });
+        if !args.quiet {
+            eprintln!("  {threads} threads: {wall_ms:.0} ms");
+        }
+    }
+
+    let report = BenchGrid {
+        schema: "bench_grid/v1".into(),
+        pool_threads,
+        thread_counts,
+        replicates: config.replicates,
+        datasets: datasets.len(),
+        deterministic_across_thread_counts: deterministic,
+        cells,
+        totals,
+    };
+    std::fs::create_dir_all(&args.out_dir).expect("create output directory");
+    let path = args.out_dir.join("BENCH_grid.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string(&report).expect("serialize report"),
+    )
+    .expect("write BENCH_grid.json");
+    if !args.quiet {
+        eprintln!("wrote {}", path.display());
+    }
+    assert!(
+        deterministic,
+        "grid output must be identical at every thread count"
+    );
+}

@@ -187,7 +187,10 @@ fn main() {
         }
     }
     let args = match CommonArgs::parse(rest) {
-        Ok(a) => a,
+        Ok(a) => {
+            a.apply_parallelism();
+            a
+        }
         Err(e) => {
             eprintln!("{e}\nchaos extras: --rates LIST | --size K | --max-iterations N");
             std::process::exit(2);

@@ -93,7 +93,10 @@ fn main() {
         }
     }
     let args = match CommonArgs::parse(rest) {
-        Ok(a) => a,
+        Ok(a) => {
+            a.apply_parallelism();
+            a
+        }
         Err(e) => {
             eprintln!(
                 "{e}\nmwrepair_run extras: --scenario SUBSTR | --alg NAME | --halt-after N | \

@@ -32,6 +32,10 @@ pub struct CommonArgs {
     /// Probes between checkpoint writes (`--checkpoint-every N`,
     /// default 512).
     pub checkpoint_every: u64,
+    /// Thread-pool size (`--threads N`). `None` defers to
+    /// `RAYON_NUM_THREADS`, then the hardware parallelism. Output is
+    /// byte-identical at every setting; see `docs/PARALLELISM.md`.
+    pub threads: Option<usize>,
 }
 
 impl Default for CommonArgs {
@@ -47,6 +51,7 @@ impl Default for CommonArgs {
             checkpoint: None,
             resume: None,
             checkpoint_every: 512,
+            threads: None,
         }
     }
 }
@@ -104,10 +109,18 @@ impl CommonArgs {
                         .parse()
                         .map_err(|e| format!("--checkpoint-every {v:?}: {e}"))?;
                 }
+                "--threads" => {
+                    let v = it.next().ok_or("--threads needs a value")?;
+                    let n: usize = v.parse().map_err(|e| format!("--threads {v:?}: {e}"))?;
+                    if n == 0 {
+                        return Err("--threads must be positive".into());
+                    }
+                    out.threads = Some(n);
+                }
                 "--help" | "-h" => {
                     return Err("flags: --replicates N | --seed S | --out DIR | --fast | \
                          --only SUBSTR | --trace PATH | --quiet | --checkpoint PATH | \
-                         --resume PATH | --checkpoint-every N"
+                         --resume PATH | --checkpoint-every N | --threads N"
                         .into())
                 }
                 other => return Err(format!("unknown flag {other:?} (try --help)")),
@@ -120,13 +133,37 @@ impl CommonArgs {
     }
 
     /// Parse from the process environment, exiting with a message on error.
+    /// Applies `--threads` to the global pool before returning.
     pub fn from_env() -> Self {
         match Self::parse(std::env::args().skip(1)) {
-            Ok(a) => a,
+            Ok(a) => {
+                a.apply_parallelism();
+                a
+            }
             Err(e) => {
                 eprintln!("{e}");
                 std::process::exit(2);
             }
+        }
+    }
+
+    /// Push `--threads` into the global pool. Returns `false` (with a
+    /// warning on stderr) when the pool was already initialized at a
+    /// different size — thread count must be set before any parallel work.
+    pub fn apply_parallelism(&self) -> bool {
+        match self.threads {
+            Some(n) => {
+                let applied = rayon::set_num_threads(n);
+                if !applied {
+                    eprintln!(
+                        "warning: --threads {n} ignored; pool already running \
+                         with {} threads",
+                        rayon::current_num_threads()
+                    );
+                }
+                applied
+            }
+            None => true,
         }
     }
 
@@ -222,5 +259,15 @@ mod tests {
         assert!(p(&["--replicates", "zero"]).is_err());
         assert!(p(&["--replicates", "0"]).is_err());
         assert!(p(&["--help"]).is_err());
+    }
+
+    #[test]
+    fn parses_threads() {
+        assert_eq!(p(&[]).unwrap().threads, None);
+        assert_eq!(p(&["--threads", "4"]).unwrap().threads, Some(4));
+        assert!(p(&["--threads"]).is_err());
+        assert!(p(&["--threads", "0"]).is_err());
+        assert!(p(&["--threads", "lots"]).is_err());
+        assert!(p(&["--help"]).unwrap_err().contains("--threads"));
     }
 }

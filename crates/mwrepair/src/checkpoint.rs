@@ -192,9 +192,11 @@ impl Checkpoint {
         Checkpoint::from_value(&value).map_err(|e| CheckpointError::Parse(e.to_string()))
     }
 
-    /// Write atomically: serialize to `<path>.tmp`, fsync, rename over
-    /// `path`. A crash at any point leaves either the old complete file or
-    /// the new one, never a torn write.
+    /// Write atomically and durably: serialize to `<path>.tmp`, fsync,
+    /// rename over `path`, then fsync the parent directory. A crash at any
+    /// point leaves either the old complete file or the new one, never a
+    /// torn write — and once this returns, the rename itself survives a
+    /// crash (the directory entry is on disk, not just in the page cache).
     pub fn save_atomic(&self, path: &Path) -> Result<(), CheckpointError> {
         let tmp = tmp_path(path);
         {
@@ -204,6 +206,7 @@ impl Checkpoint {
             f.sync_all()?;
         }
         std::fs::rename(&tmp, path)?;
+        sync_parent_dir(path)?;
         Ok(())
     }
 
@@ -218,6 +221,26 @@ fn tmp_path(path: &Path) -> std::path::PathBuf {
     let mut os = path.as_os_str().to_owned();
     os.push(".tmp");
     std::path::PathBuf::from(os)
+}
+
+/// Fsync the directory containing `path`, making a just-completed rename
+/// durable. On POSIX, `rename` updates the directory inode; until that
+/// inode is synced, a power loss can roll the directory back to the old
+/// entry even though the file data itself was fsynced.
+#[cfg(unix)]
+fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    std::fs::File::open(parent)?.sync_all()
+}
+
+/// Directory handles are not openable/syncable portably off unix; the
+/// rename is still atomic, just not guaranteed durable.
+#[cfg(not(unix))]
+fn sync_parent_dir(_path: &Path) -> std::io::Result<()> {
+    Ok(())
 }
 
 #[cfg(test)]
@@ -342,6 +365,24 @@ mod tests {
         ck2.iteration = 6;
         ck2.save_atomic(&path).unwrap();
         assert_eq!(Checkpoint::load(&path).unwrap().iteration, 6);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_atomic_syncs_parent_of_bare_and_nested_paths() {
+        // Bare filename: the parent is the empty path; the directory fsync
+        // must fall back to "." instead of erroring.
+        sync_parent_dir(Path::new("bare.ckpt")).unwrap();
+
+        // Nested directory: fsyncs the deepest parent, not the temp root.
+        let dir = std::env::temp_dir().join(format!("mwr-ckpt-nested-{}", std::process::id()));
+        let nested = dir.join("a").join("b");
+        std::fs::create_dir_all(&nested).unwrap();
+        let ck = sample_checkpoint();
+        let path = nested.join("run.ckpt");
+        ck.save_atomic(&path).unwrap();
+        assert!(!tmp_path(&path).exists());
+        assert_eq!(Checkpoint::load(&path).unwrap(), ck);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -5,10 +5,13 @@
 //! 1. `MWU_Sample` — the MWU algorithm plans which arm (composition size
 //!    `x`) each parallel agent probes ([`mwu_core::MwuAlgorithm::plan`]).
 //! 2. **Parallel evaluation** — each agent samples `x` distinct pool
-//!    mutations, applies them, and runs the suite (rayon; deterministic
-//!    per-(iteration, agent) RNG streams so parallel scheduling cannot
-//!    change results). If a probe reaches maximum fitness, the repaired
-//!    program is returned immediately (Fig. 6 line 8, "Terminate Early").
+//!    mutations, applies them, and runs the suite. Probes run concurrently
+//!    on the rayon work-sharing pool; each derives its RNG stream from
+//!    `mix(seed, iteration, agent)` and results are collected in agent
+//!    order, so outcomes and traces are byte-identical at every thread
+//!    count (`docs/PARALLELISM.md`). If a probe reaches maximum fitness,
+//!    the repaired program is returned immediately (Fig. 6 line 8,
+//!    "Terminate Early").
 //! 3. `MWU_Update` — observed rewards update the weights.
 //!
 //! ## Reward definition

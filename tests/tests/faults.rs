@@ -101,9 +101,13 @@ fn killed_and_resumed_repair_matches_uninterrupted_run() {
     let mut alg = StandardMwu::new(arms, StandardConfig::default());
     let uninterrupted = repair(&scenario, &pool, &mut alg, &config);
 
+    // Checkpoint into a *nested* directory so the durable write path
+    // (tmp + fsync + rename + parent-directory fsync) runs against the
+    // deepest parent, not the temp root.
     let dir = std::env::temp_dir().join(format!("faults-it-{}", std::process::id()));
-    std::fs::create_dir_all(&dir).unwrap();
-    let ckpt_path = dir.join("repair.ckpt");
+    let ckpt_dir = dir.join("ckpts").join("run-a");
+    std::fs::create_dir_all(&ckpt_dir).unwrap();
+    let ckpt_path = ckpt_dir.join("repair.ckpt");
 
     // Session 1: checkpoint every 64 probes, "killed" after 30 cycles.
     let mut alg1 = StandardMwu::new(arms, StandardConfig::default());
@@ -122,6 +126,15 @@ fn killed_and_resumed_repair_matches_uninterrupted_run() {
     )
     .unwrap();
     assert!(matches!(halted, SessionResult::Halted { .. }));
+
+    // The "kill" leaves a durable, complete checkpoint and nothing else:
+    // in particular no `.tmp` staging file that a crash mid-write could
+    // have stranded.
+    let leftovers: Vec<_> = std::fs::read_dir(&ckpt_dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    assert_eq!(leftovers, vec!["repair.ckpt"], "only the checkpoint itself");
 
     // Session 2: resume purely from the file, run to completion.
     let ck = Checkpoint::load(&ckpt_path).unwrap();

@@ -62,6 +62,32 @@ proptest! {
         }
     }
 
+    // Regression for the cap == 1/k feasibility boundary: any cap with
+    // cap·k ≥ 1 must produce a finite simplex vector without panicking,
+    // including the exact boundary where the uniform vector is the only
+    // feasible point.
+    #[test]
+    fn capping_at_feasibility_boundary_never_panics(
+        ws in positive_weights(48),
+        slack in 0.0f64..0.5,
+    ) {
+        let w = WeightVector::from_weights(&ws);
+        let k = w.len();
+        // Sweep from exactly 1/k (slack = 0) up to 1.5/k.
+        let cap = (1.0 + slack) / k as f64;
+        let c = w.capped(cap);
+        prop_assert_eq!(c.len(), k);
+        prop_assert!(c.probabilities().iter().all(|p| p.is_finite() && *p >= 0.0));
+        let sum: f64 = c.probabilities().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(!c.exceeds_cap(cap, 1e-9));
+        if slack == 0.0 {
+            // Exact boundary: deterministically the uniform vector.
+            let uniform = WeightVector::uniform(k);
+            prop_assert_eq!(c.probabilities(), uniform.probabilities());
+        }
+    }
+
     #[test]
     fn mix_uniform_keeps_floor(ws in positive_weights(32), gamma in 0.0f64..1.0) {
         let w = WeightVector::from_weights(&ws);

@@ -1,87 +1,285 @@
-//! Offline vendored `rayon` shim.
+//! Offline vendored `rayon` with a real work-sharing thread pool.
 //!
-//! The build environment has no crates.io access, so this crate keeps the
-//! `par_iter()` / `into_par_iter()` call sites compiling by handing back
-//! **sequential** standard-library iterators. Every caller in this
-//! workspace already derives per-item RNG streams so results are
-//! scheduling-independent; running the items sequentially changes wall
-//! time, never results. Swapping the real rayon back in later is a
-//! one-line `Cargo.toml` change.
+//! The build environment has no crates.io access, so this crate implements
+//! the `par_iter()` / `into_par_iter()` API surface this workspace uses on
+//! top of a std::thread pool of its own (see [`mod@pool`] for the design):
+//! a lazily-initialized global pool whose threads pull chunks of the input
+//! range from a shared atomic index counter. Work really runs concurrently
+//! — the experiment grid, the MWRepair probe loop and the precompute phase
+//! all scale with the thread count.
+//!
+//! ## Determinism contract
+//!
+//! Every result is written to the output slot of its *input* index and all
+//! reductions fold that ordered buffer sequentially, so `map`, `filter`,
+//! `collect`, `count` and `sum` return results byte-identical to a
+//! sequential run at any thread count. Callers additionally derive
+//! per-item RNG streams, so nothing in this workspace can observe the
+//! scheduling. `docs/PARALLELISM.md` spells out the full contract.
+//!
+//! ## Knobs
+//!
+//! * [`set_num_threads`] — pool size; the `--threads` CLI flag lands here.
+//! * `RAYON_NUM_THREADS` — environment fallback, as in real rayon.
+//! * [`with_max_threads`] — scoped participation cap (testing / benching
+//!   several thread counts inside one process).
+//!
+//! ## Differences from real rayon
+//!
+//! * The adapter set is exactly what this workspace needs: `map`, `filter`,
+//!   `enumerate`, `copied`, `for_each`, `collect`, `count`, `sum`, plus
+//!   [`join`]. Items are materialized into a `Vec` up front rather than
+//!   split lazily.
+//! * [`ParIter::enumerate`] numbers *source* items; apply it before
+//!   `filter` (as every call site here does) and it matches rayon.
+//! * Panics in item closures poison the job and re-raise in the caller;
+//!   items not yet processed are leaked rather than dropped.
 
-/// Sequential stand-in for `rayon::iter::IntoParallelIterator`.
-pub trait IntoParallelIterator {
-    /// The underlying iterator type.
-    type Iter: Iterator<Item = Self::Item>;
-    /// The element type.
-    type Item;
+mod pool;
 
-    /// "Parallel" iteration — sequential in this shim.
-    fn into_par_iter(self) -> Self::Iter;
+pub use pool::{current_num_threads, set_num_threads, with_max_threads};
+
+/// A parallel pipeline over an eagerly-collected item vector: each source
+/// item of type `T` flows through a fused transform producing `Option<U>`
+/// (`None` = filtered out). Terminal operations run the transform on the
+/// global pool with input-order results.
+pub struct ParIter<'f, T, U> {
+    items: Vec<T>,
+    op: Box<dyn Fn(T) -> Option<U> + Sync + 'f>,
 }
 
-impl<I: IntoIterator> IntoParallelIterator for I {
-    type Iter = I::IntoIter;
-    type Item = I::Item;
-
-    fn into_par_iter(self) -> Self::Iter {
-        self.into_iter()
+impl<'f, T: Send + 'f> ParIter<'f, T, T> {
+    fn from_items(items: Vec<T>) -> Self {
+        ParIter {
+            items,
+            op: Box::new(Some),
+        }
     }
 }
 
-/// Sequential stand-in for `rayon::iter::IntoParallelRefIterator`.
-pub trait IntoParallelRefIterator<'a> {
-    /// The underlying iterator type.
-    type Iter: Iterator<Item = Self::Item>;
-    /// The element type (a reference).
-    type Item: 'a;
+impl<'f, T: Send + 'f, U: Send + 'f> ParIter<'f, T, U> {
+    /// Transform each surviving item with `f`.
+    pub fn map<V, F>(self, f: F) -> ParIter<'f, T, V>
+    where
+        F: Fn(U) -> V + Sync + 'f,
+        V: Send + 'f,
+    {
+        let op = self.op;
+        ParIter {
+            items: self.items,
+            op: Box::new(move |t| op(t).map(&f)),
+        }
+    }
 
-    /// "Parallel" iteration over references — sequential in this shim.
-    fn par_iter(&'a self) -> Self::Iter;
+    /// Keep only items for which `pred` holds. Relative order is preserved.
+    pub fn filter<P>(self, pred: P) -> ParIter<'f, T, U>
+    where
+        P: Fn(&U) -> bool + Sync + 'f,
+    {
+        let op = self.op;
+        ParIter {
+            items: self.items,
+            op: Box::new(move |t| op(t).filter(|u| pred(u))),
+        }
+    }
+
+    /// Pair each item with its *source* index. Matches rayon's `enumerate`
+    /// when applied before any `filter` (as all call sites here do).
+    pub fn enumerate(self) -> ParIter<'f, (usize, T), (usize, U)>
+    where
+        (usize, T): Send,
+        (usize, U): Send,
+    {
+        let op = self.op;
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+            op: Box::new(move |(i, t): (usize, T)| op(t).map(|u| (i, u))),
+        }
+    }
+
+    /// Run the pipeline on the pool; slot `i` holds item `i`'s outcome.
+    fn run(self) -> Vec<Option<U>> {
+        let n = self.items.len();
+        let op = self.op;
+        if n < 2 {
+            return self.items.into_iter().map(op).collect();
+        }
+
+        // Items are moved out of the buffer exactly once each (disjoint
+        // indices), results written to preallocated slots; panics leave
+        // both buffers leaked-but-valid (no double drop, no dangling read).
+        struct SendConstPtr<P>(*const P);
+        unsafe impl<P> Send for SendConstPtr<P> {}
+        unsafe impl<P> Sync for SendConstPtr<P> {}
+        impl<P> SendConstPtr<P> {
+            // Method receivers force the closure below to capture the whole
+            // wrapper (edition-2021 disjoint capture would otherwise grab
+            // the non-Sync pointer field directly).
+            fn get(&self) -> *const P {
+                self.0
+            }
+        }
+        struct SendMutPtr<P>(*mut P);
+        unsafe impl<P> Send for SendMutPtr<P> {}
+        unsafe impl<P> Sync for SendMutPtr<P> {}
+        impl<P> SendMutPtr<P> {
+            fn get(&self) -> *mut P {
+                self.0
+            }
+        }
+
+        let items = std::mem::ManuallyDrop::new(self.items);
+        let mut out: Vec<Option<U>> = Vec::with_capacity(n);
+        let src = SendConstPtr(items.as_ptr());
+        let dst = SendMutPtr(out.as_mut_ptr());
+        let task = |i: usize| {
+            // SAFETY: each index is claimed exactly once; both pointers are
+            // valid for `n` slots for the whole blocking call.
+            unsafe {
+                let item = std::ptr::read(src.get().add(i));
+                std::ptr::write(dst.get().add(i), op(item));
+            }
+        };
+        pool::run_indexed(n, &task);
+
+        // Every element was moved out: free the buffer without dropping.
+        let mut items = std::mem::ManuallyDrop::into_inner(items);
+        // SAFETY: all `n` elements were consumed by `ptr::read`.
+        unsafe { items.set_len(0) };
+        // SAFETY: all `n` slots were initialized by `ptr::write`.
+        unsafe { out.set_len(n) };
+        out
+    }
+
+    /// Collect surviving items, in input order.
+    pub fn collect<C: FromIterator<U>>(self) -> C {
+        self.run().into_iter().flatten().collect()
+    }
+
+    /// Number of surviving items.
+    pub fn count(self) -> usize {
+        self.run().into_iter().flatten().count()
+    }
+
+    /// Sum surviving items, folding in input order (thread-count-invariant
+    /// even for floating point).
+    pub fn sum<S: std::iter::Sum<U>>(self) -> S {
+        self.run().into_iter().flatten().sum()
+    }
+
+    /// Run `f` on every surviving item (unordered side effects; `f` must be
+    /// `Sync` since items execute concurrently).
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(U) + Sync + 'f,
+    {
+        self.map(f).run();
+    }
+}
+
+impl<'f, 'x: 'f, T: Send + 'f, U: Copy + Send + 'x> ParIter<'f, T, &'x U> {
+    /// Copy referenced items (mirrors `Iterator::copied`).
+    pub fn copied(self) -> ParIter<'f, T, U> {
+        let op = self.op;
+        ParIter {
+            items: self.items,
+            op: Box::new(move |t| op(t).copied()),
+        }
+    }
+}
+
+/// Mirror of `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send + 'static;
+
+    /// Start a parallel pipeline over this collection's items.
+    fn into_par_iter(self) -> ParIter<'static, Self::Item, Self::Item>;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I
+where
+    I::Item: Send + 'static,
+{
+    type Item = I::Item;
+
+    fn into_par_iter(self) -> ParIter<'static, I::Item, I::Item> {
+        ParIter::from_items(self.into_iter().collect())
+    }
+}
+
+/// Mirror of `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    /// The element type (a reference).
+    type Item: Send + 'a;
+
+    /// Start a parallel pipeline over references to this collection.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item, Self::Item>;
 }
 
 impl<'a, T: 'a + ?Sized> IntoParallelRefIterator<'a> for T
 where
     &'a T: IntoIterator,
+    <&'a T as IntoIterator>::Item: Send,
 {
-    type Iter = <&'a T as IntoIterator>::IntoIter;
     type Item = <&'a T as IntoIterator>::Item;
 
-    fn par_iter(&'a self) -> Self::Iter {
-        self.into_iter()
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item, Self::Item> {
+        ParIter::from_items(self.into_iter().collect())
     }
 }
 
-/// Sequential stand-in for `rayon::iter::IntoParallelRefMutIterator`.
+/// Mirror of `rayon::iter::IntoParallelRefMutIterator`.
 pub trait IntoParallelRefMutIterator<'a> {
-    /// The underlying iterator type.
-    type Iter: Iterator<Item = Self::Item>;
     /// The element type (a mutable reference).
-    type Item: 'a;
+    type Item: Send + 'a;
 
-    /// "Parallel" iteration over mutable references — sequential here.
-    fn par_iter_mut(&'a mut self) -> Self::Iter;
+    /// Start a parallel pipeline over mutable references.
+    fn par_iter_mut(&'a mut self) -> ParIter<'a, Self::Item, Self::Item>;
 }
 
 impl<'a, T: 'a + ?Sized> IntoParallelRefMutIterator<'a> for T
 where
     &'a mut T: IntoIterator,
+    <&'a mut T as IntoIterator>::Item: Send,
 {
-    type Iter = <&'a mut T as IntoIterator>::IntoIter;
     type Item = <&'a mut T as IntoIterator>::Item;
 
-    fn par_iter_mut(&'a mut self) -> Self::Iter {
-        self.into_iter()
+    fn par_iter_mut(&'a mut self) -> ParIter<'a, Self::Item, Self::Item> {
+        ParIter::from_items(self.into_iter().collect())
     }
 }
 
-/// Run two closures "in parallel" (sequentially here) and return both
-/// results, mirroring `rayon::join`.
+/// Run two closures in parallel and return both results, mirroring
+/// `rayon::join`. `b` runs on a pool worker when one is free; otherwise the
+/// calling thread runs both (never blocked on an unclaimed closure, so
+/// nested joins cannot deadlock).
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
 {
-    (a(), b())
+    use std::sync::Mutex;
+    let fa = Mutex::new(Some(a));
+    let fb = Mutex::new(Some(b));
+    let ra: Mutex<Option<RA>> = Mutex::new(None);
+    let rb: Mutex<Option<RB>> = Mutex::new(None);
+    let task = |i: usize| {
+        if i == 0 {
+            let f = fa.lock().unwrap().take().expect("join side runs once");
+            *ra.lock().unwrap() = Some(f());
+        } else {
+            let f = fb.lock().unwrap().take().expect("join side runs once");
+            *rb.lock().unwrap() = Some(f());
+        }
+    };
+    pool::run_indexed(2, &task);
+    (
+        ra.into_inner().unwrap().expect("join side a completed"),
+        rb.into_inner().unwrap().expect("join side b completed"),
+    )
 }
 
 /// The common imports, mirroring `rayon::prelude::*`.
@@ -106,5 +304,61 @@ mod tests {
     fn join_returns_both() {
         let (a, b) = super::join(|| 1, || "two");
         assert_eq!((a, b), (1, "two"));
+    }
+
+    #[test]
+    fn order_is_preserved_on_large_inputs() {
+        let n = 10_000usize;
+        let out: Vec<usize> = (0..n).into_par_iter().map(|i| i * 3).collect();
+        assert_eq!(out, (0..n).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn enumerate_filter_count_compose() {
+        let xs: Vec<u32> = (0..1000).collect();
+        let odd_sum: u32 = xs.par_iter().copied().filter(|x| x % 2 == 1).sum();
+        assert_eq!(odd_sum, (0..1000).filter(|x| x % 2 == 1).sum::<u32>());
+        let pairs: Vec<(usize, u32)> = xs
+            .par_iter()
+            .enumerate()
+            .map(|(i, &x)| (i, x + 1))
+            .collect();
+        assert!(pairs.iter().all(|&(i, x)| x == i as u32 + 1));
+    }
+
+    #[test]
+    fn nested_parallelism_terminates_and_is_correct() {
+        let totals: Vec<usize> = (0..8usize)
+            .into_par_iter()
+            .map(|outer| {
+                (0..100usize)
+                    .into_par_iter()
+                    .filter(|i| i % (outer + 1) == 0)
+                    .count()
+            })
+            .collect();
+        let expected: Vec<usize> = (0..8usize)
+            .map(|outer| (0..100usize).filter(|i| i % (outer + 1) == 0).count())
+            .collect();
+        assert_eq!(totals, expected);
+    }
+
+    #[test]
+    fn panics_propagate_to_the_caller() {
+        let r = std::panic::catch_unwind(|| {
+            let _: Vec<usize> = (0..256usize)
+                .into_par_iter()
+                .map(|i| if i == 137 { panic!("boom") } else { i })
+                .collect();
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn with_max_threads_is_scoped_and_deterministic() {
+        let seq: Vec<u64> =
+            super::with_max_threads(1, || (0..512u64).into_par_iter().map(|i| i * i).collect());
+        let par: Vec<u64> = (0..512u64).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(seq, par);
     }
 }

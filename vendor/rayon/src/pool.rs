@@ -1,0 +1,344 @@
+//! The global work-sharing thread pool behind the `par_iter` API.
+//!
+//! ## Design
+//!
+//! One lazily-initialized global pool of `N - 1` worker threads (the
+//! submitting thread is the N-th participant). A parallel call packages its
+//! work as an indexed job — "run `f(i)` for `i in 0..n`" — with a chunked
+//! atomic next-index counter. The job is pushed onto a shared queue; every
+//! worker (and the submitter) repeatedly claims the next chunk of indices
+//! with a single `fetch_add` until the range is exhausted. This is *work
+//! sharing*: threads pull chunks from the same counter, so an uneven item
+//! cost profile balances automatically without per-thread deques.
+//!
+//! ## Determinism contract
+//!
+//! Chunk claiming is racy by design, but every result is written to the
+//! output slot of its *input index*, and all reductions (collect / count /
+//! sum) fold the ordered output buffer sequentially. Callers therefore see
+//! results that are byte-identical to a sequential run, for every pool size
+//! and every scheduling interleaving. See `docs/PARALLELISM.md`.
+//!
+//! ## Nested parallelism and deadlock freedom
+//!
+//! A chunk body may itself issue parallel calls (the Fig. 4 Monte-Carlo
+//! curves nest `into_par_iter` inside `par_iter`). The submitting thread of
+//! every job participates in that job before blocking, so an inner job
+//! always has at least one thread driving it even when all workers are
+//! busy; waiting threads hold no locks while they wait. Hence no cycle of
+//! threads can wait on each other and the pool cannot deadlock.
+//!
+//! ## Panic semantics
+//!
+//! A panicking chunk poisons the job: remaining chunks are abandoned (the
+//! index counter is fast-forwarded), the first panic payload is captured,
+//! and the submitting call re-raises it after every in-flight chunk has
+//! retired — so borrowed closures never outlive the call, even on panic.
+//! Items not yet processed when a panic strikes are leaked, not dropped.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering::SeqCst};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Requested pool size (0 = not configured; resolve from the environment).
+static REQUESTED: AtomicUsize = AtomicUsize::new(0);
+
+/// The global pool, spawned on first parallel call.
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+thread_local! {
+    /// Per-thread participation cap for jobs submitted from this thread
+    /// ([`with_max_threads`]); inherited by nested jobs.
+    static MAX_THREADS: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// Request `n` total threads (workers + the submitting thread) for the
+/// global pool. Effective only before the pool's first use: returns `true`
+/// if the request was applied (or the pool already runs at exactly `n`
+/// threads), `false` if the pool was already initialized at another size.
+///
+/// The `--threads` CLI flag and `RAYON_NUM_THREADS` both land here;
+/// an explicit `set_num_threads` call wins over the environment.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn set_num_threads(n: usize) -> bool {
+    assert!(n > 0, "thread count must be positive");
+    if let Some(pool) = POOL.get() {
+        return pool.size == n;
+    }
+    REQUESTED.store(n, SeqCst);
+    // A racing first parallel call may have initialized the pool between
+    // the check and the store; report honestly.
+    match POOL.get() {
+        Some(pool) => pool.size == n,
+        None => true,
+    }
+}
+
+/// Total threads the pool runs with (initializing it if necessary):
+/// the [`set_num_threads`] request, else `RAYON_NUM_THREADS`, else the
+/// hardware parallelism.
+pub fn current_num_threads() -> usize {
+    pool().size
+}
+
+/// Run `f` with parallel calls capped at `cap` participating threads.
+///
+/// The cap is scoped to the current thread and is inherited by nested
+/// parallel calls (workers adopt the cap of the job they execute), so a
+/// `with_max_threads(1, ...)` region runs fully sequentially even on a
+/// large pool. Used by the thread-count-invariance tests and `bench_grid`
+/// to measure 1/2/4/8-thread behaviour inside one process.
+///
+/// # Panics
+/// Panics if `cap == 0`.
+pub fn with_max_threads<R>(cap: usize, f: impl FnOnce() -> R) -> R {
+    assert!(cap > 0, "thread cap must be positive");
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            MAX_THREADS.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(MAX_THREADS.with(|c| c.replace(cap)));
+    f()
+}
+
+struct Pool {
+    /// Total participants: worker threads + 1 (the submitting thread).
+    size: usize,
+    shared: Arc<Shared>,
+}
+
+struct Shared {
+    /// Jobs with unclaimed chunks. A job stays visible to every worker
+    /// until its index range is exhausted (work *sharing*, not stealing).
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    /// Signalled when a new job is pushed.
+    work_cv: Condvar,
+}
+
+/// Type-erased pointer to the submitting call's `f(i)` closure. The
+/// lifetime is erased to `'static` for storage; safety comes from the
+/// submitting call blocking until every chunk has retired.
+struct TaskPtr(*const (dyn Fn(usize) + Sync));
+// SAFETY: the pointee is `Sync` and outlives all uses (see above).
+unsafe impl Send for TaskPtr {}
+unsafe impl Sync for TaskPtr {}
+
+struct Job {
+    task: TaskPtr,
+    /// Total items.
+    n: usize,
+    /// Items claimed per `fetch_add`.
+    chunk: usize,
+    /// Max concurrent participants (from the submitter's thread cap).
+    max_active: usize,
+    /// Next unclaimed item index (monotone; `>= n` means exhausted).
+    next: AtomicUsize,
+    /// Threads currently holding a participation slot.
+    active: AtomicUsize,
+    /// First panic payload from any chunk.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Completion signal: `next >= n && active == 0`.
+    done: Mutex<()>,
+    done_cv: Condvar,
+}
+
+impl Job {
+    fn finished(&self) -> bool {
+        self.next.load(SeqCst) >= self.n && self.active.load(SeqCst) == 0
+    }
+
+    /// Claim a participation slot (bounded by `max_active`) and process
+    /// chunks until the index range is exhausted. Returns immediately when
+    /// the job is already fully claimed or at its participation cap.
+    fn participate(&self) {
+        loop {
+            let cur = self.active.load(SeqCst);
+            if cur >= self.max_active || self.next.load(SeqCst) >= self.n {
+                return;
+            }
+            if self
+                .active
+                .compare_exchange(cur, cur + 1, SeqCst, SeqCst)
+                .is_ok()
+            {
+                break;
+            }
+        }
+        // Nested jobs submitted from chunk bodies inherit this job's cap.
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                MAX_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(MAX_THREADS.with(|c| c.replace(self.max_active)));
+
+        loop {
+            let start = self.next.fetch_add(self.chunk, SeqCst);
+            if start >= self.n {
+                break;
+            }
+            let end = (start + self.chunk).min(self.n);
+            // SAFETY: the submitting call blocks until `finished()`, so the
+            // closure behind `task` is alive for the whole chunk.
+            let f = unsafe { &*self.task.0 };
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                for i in start..end {
+                    f(i);
+                }
+            }));
+            if let Err(payload) = result {
+                // Poison: stop handing out chunks, keep the first payload.
+                self.next.fetch_max(self.n, SeqCst);
+                let mut slot = self.panic.lock().unwrap();
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+        }
+
+        if self.active.fetch_sub(1, SeqCst) == 1 && self.next.load(SeqCst) >= self.n {
+            // Last participant out wakes the submitting call. Taking the
+            // lock orders the notify after the submitter's condition check.
+            let _guard = self.done.lock().unwrap();
+            self.done_cv.notify_all();
+        }
+    }
+}
+
+fn resolve_size() -> usize {
+    let requested = REQUESTED.load(SeqCst);
+    if requested > 0 {
+        return requested;
+    }
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let size = resolve_size();
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            work_cv: Condvar::new(),
+        });
+        for w in 0..size.saturating_sub(1) {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("mwu-par-{w}"))
+                .spawn(move || worker_loop(shared))
+                .expect("spawn pool worker");
+        }
+        Pool { size, shared }
+    })
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                // Exhausted jobs are dead weight; drop them here so the
+                // queue never grows beyond the set of live jobs.
+                queue.retain(|j| j.next.load(SeqCst) < j.n);
+                let runnable = queue
+                    .iter()
+                    .find(|j| j.active.load(SeqCst) < j.max_active)
+                    .cloned();
+                match runnable {
+                    Some(j) => break j,
+                    None => queue = shared.work_cv.wait(queue).unwrap(),
+                }
+            }
+        };
+        job.participate();
+    }
+}
+
+/// Execute `f(i)` for every `i in 0..n` on the global pool, blocking until
+/// all items have been processed. Runs inline (pure sequential, no pool
+/// traffic) when the effective parallelism is 1 or `n < 2`. Re-raises the
+/// first panic any item produced.
+pub(crate) fn run_indexed(n: usize, f: &(dyn Fn(usize) + Sync)) {
+    if n == 0 {
+        return;
+    }
+    let cap = MAX_THREADS.with(|c| c.get());
+    if cap <= 1 {
+        // Fully capped: don't even touch (or initialize) the pool.
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    let pool = pool();
+    let width = pool.size.min(cap);
+    if width <= 1 || n < 2 {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+
+    // ~4 chunks per participant balances uneven item costs against
+    // fetch_add traffic; clamp to 1 so tiny inputs still parallelize.
+    let chunk = (n / (width * 4)).max(1);
+    // SAFETY: lifetime erasure; this call does not return until every
+    // chunk has retired, so `f` outlives all uses.
+    let task: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
+    let job = Arc::new(Job {
+        task: TaskPtr(task as *const _),
+        n,
+        chunk,
+        max_active: width,
+        next: AtomicUsize::new(0),
+        active: AtomicUsize::new(0),
+        panic: Mutex::new(None),
+        done: Mutex::new(()),
+        done_cv: Condvar::new(),
+    });
+
+    {
+        let mut queue = pool.shared.queue.lock().unwrap();
+        queue.push_back(Arc::clone(&job));
+    }
+    pool.shared.work_cv.notify_all();
+
+    // The submitter is a participant too — this both shares the work and
+    // guarantees progress when every worker is busy (nested jobs).
+    job.participate();
+
+    {
+        let mut guard = job.done.lock().unwrap();
+        while !job.finished() {
+            guard = job.done_cv.wait(guard).unwrap();
+        }
+    }
+
+    // The job may still sit in the queue (exhausted); remove it so the
+    // queue holds no stale task pointers. Workers that already cloned the
+    // Arc only ever read the atomics of an exhausted job, never the task.
+    {
+        let mut queue = pool.shared.queue.lock().unwrap();
+        queue.retain(|j| !Arc::ptr_eq(j, &job));
+    }
+
+    let payload = job.panic.lock().unwrap().take();
+    if let Some(payload) = payload {
+        std::panic::resume_unwind(payload);
+    }
+}
