@@ -1,0 +1,102 @@
+//! Steady-state cost of one allocation-free MWU round (plan → pull →
+//! update) with warm scratch buffers and a reused rewards buffer — the
+//! criterion twin of the `bench_round` binary that maintains
+//! `BENCH_round.json` (see `docs/PERFORMANCE.md`).
+//!
+//! Unlike `mwu_iteration` (which allocates its rewards vector per cycle,
+//! measuring the naive caller), this harness reproduces the driver's hot
+//! loop: after warmup every buffer has reached steady-state capacity and a
+//! round performs zero heap allocations (enforced by
+//! `tests/tests/alloc_free.rs`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mwu_core::prelude::*;
+use mwu_core::slate::SlateSampling;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn one_round(
+    alg: &mut dyn MwuAlgorithm,
+    bandit: &mut ValueBandit,
+    rewards: &mut Vec<f64>,
+    rng: &mut SmallRng,
+) {
+    rewards.clear();
+    {
+        let plan = alg.plan(rng);
+        for &arm in plan {
+            rewards.push(bandit.pull(arm, rng));
+        }
+    }
+    alg.update(rewards, rng);
+}
+
+fn bench_alg(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    name: &str,
+    k: usize,
+    warmup: usize,
+    mut alg: Box<dyn MwuAlgorithm>,
+) {
+    group.throughput(Throughput::Elements(k as u64));
+    group.bench_with_input(BenchmarkId::new(name, k), &k, |b, &k| {
+        let mut bandit = ValueBandit::exact(mwu_core::bandit::random_values(k, 9));
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut rewards = Vec::with_capacity(alg.cpus_per_iteration() * 2);
+        for _ in 0..warmup {
+            one_round(alg.as_mut(), &mut bandit, &mut rewards, &mut rng);
+        }
+        b.iter(|| one_round(alg.as_mut(), &mut bandit, &mut rewards, &mut rng));
+    });
+}
+
+fn bench_round_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("round_kernel");
+    group.sample_size(30);
+    for &k in &[64usize, 256, 1024] {
+        bench_alg(
+            &mut group,
+            "standard",
+            k,
+            200,
+            Box::new(StandardMwu::new(k, StandardConfig::default())),
+        );
+        bench_alg(
+            &mut group,
+            "slate",
+            k,
+            200,
+            Box::new(SlateMwu::new(k, SlateConfig::default())),
+        );
+        // The O(k²) decomposition sampler is far off the systematic path's
+        // cost curve; cap its size so the bench stays snappy.
+        if k <= 256 {
+            bench_alg(
+                &mut group,
+                "slate-decomp",
+                k,
+                50,
+                Box::new(SlateMwu::new(
+                    k,
+                    SlateConfig {
+                        sampling: SlateSampling::ConvexDecomposition,
+                        ..SlateConfig::default()
+                    },
+                )),
+            );
+        }
+        if k <= 256 {
+            bench_alg(
+                &mut group,
+                "distributed",
+                k,
+                100,
+                Box::new(DistributedMwu::new(k, DistributedConfig::default())),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_round_kernel);
+criterion_main!(benches);

@@ -128,6 +128,10 @@ impl MwuAlgorithm for HedgeMwu {
         self.weights.probabilities().to_vec()
     }
 
+    fn probabilities_into(&self, out: &mut Vec<f64>) {
+        self.weights.probabilities_into(out);
+    }
+
     fn comm_stats(&self) -> CommStats {
         self.comm
     }
@@ -283,6 +287,12 @@ impl MwuAlgorithm for EpsilonGreedy {
         self.state.pulls.iter().map(|&p| p as f64 / total).collect()
     }
 
+    fn probabilities_into(&self, out: &mut Vec<f64>) {
+        let total = self.state.total.max(1) as f64;
+        out.clear();
+        out.extend(self.state.pulls.iter().map(|&p| p as f64 / total));
+    }
+
     fn comm_stats(&self) -> CommStats {
         CommStats::default() // a single agent communicates with no one
     }
@@ -373,6 +383,12 @@ impl MwuAlgorithm for Ucb1 {
         self.state.pulls.iter().map(|&p| p as f64 / total).collect()
     }
 
+    fn probabilities_into(&self, out: &mut Vec<f64>) {
+        let total = self.state.total.max(1) as f64;
+        out.clear();
+        out.extend(self.state.pulls.iter().map(|&p| p as f64 / total));
+    }
+
     fn comm_stats(&self) -> CommStats {
         CommStats::default()
     }
@@ -442,8 +458,9 @@ impl MwuAlgorithm for Exp3 {
     }
 
     fn plan(&mut self, rng: &mut SmallRng) -> &[usize] {
-        let mixed = self.weights.mix_uniform(self.gamma);
-        let arm = mixed.sample(rng);
+        // Sample the γ-mixture without materializing it — same draw, same
+        // accumulated terms as `mix_uniform(γ).sample(rng)`, zero alloc.
+        let arm = self.weights.sample_mixed(self.gamma, rng);
         self.last_arm = arm;
         self.last_p = self.selection_p(arm);
         self.plan_buf = [arm];
@@ -490,6 +507,11 @@ impl MwuAlgorithm for Exp3 {
         (0..self.weights.len())
             .map(|i| self.selection_p(i))
             .collect()
+    }
+
+    fn probabilities_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend((0..self.weights.len()).map(|i| self.selection_p(i)));
     }
 
     fn comm_stats(&self) -> CommStats {

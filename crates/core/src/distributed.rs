@@ -332,6 +332,12 @@ impl MwuAlgorithm for DistributedMwu {
         self.counts.iter().map(|&c| c as f64 / pop).collect()
     }
 
+    fn probabilities_into(&self, out: &mut Vec<f64>) {
+        let pop = self.choices.len() as f64;
+        out.clear();
+        out.extend(self.counts.iter().map(|&c| c as f64 / pop));
+    }
+
     fn comm_stats(&self) -> CommStats {
         self.comm
     }

@@ -64,6 +64,8 @@ pub mod bandit;
 pub mod convergence;
 pub mod cost;
 pub mod distributed;
+#[cfg(test)]
+mod reference;
 pub mod regret;
 pub mod rng;
 pub mod run;
@@ -150,6 +152,17 @@ pub trait MwuAlgorithm {
     /// The explicit (Standard/Slate) or implicit (Distributed: population
     /// frequency) probability vector over arms.
     fn probabilities(&self) -> Vec<f64>;
+
+    /// Write the probability vector into caller scratch (cleared first) —
+    /// the allocation-free counterpart of [`MwuAlgorithm::probabilities`]
+    /// used by hot observer paths. The default delegates to
+    /// `probabilities()`; every built-in algorithm overrides it to copy
+    /// straight from its internal state.
+    fn probabilities_into(&self, out: &mut Vec<f64>) {
+        let p = self.probabilities();
+        out.clear();
+        out.extend_from_slice(&p);
+    }
 
     /// Communication statistics accumulated so far (messages sent and the
     /// peak single-node congestion observed in any round).

@@ -1,0 +1,334 @@
+//! Naive, allocation-heavy reference implementations of the MWU round
+//! kernels, retained as test oracles for the allocation-free refactor.
+//!
+//! Each `Reference*` struct reproduces the *pre-refactor* shape of one
+//! algorithm's round: fresh vectors every plan, allocating simplex helpers
+//! (`mix_uniform`, `capped`, `systematic_sample`, `decompose_into_slates`,
+//! `sample_decomposition`), one RNG draw per sampling decision in the same
+//! order. The property tests below drive a reference and its production
+//! twin with twin-seeded RNGs and assert that the weight trajectories are
+//! **bit-identical** (`f64::to_bits`), not merely close — the guarantee the
+//! determinism suites and the CI thread-matrix byte-diffs rely on.
+//!
+//! This module is compiled only under `cfg(test)`.
+
+use crate::distributed::DistributedConfig;
+use crate::schedule::LearningRate;
+use crate::slate::{
+    decompose_into_slates, sample_decomposition, systematic_sample, SlateConfig, SlateSampling,
+};
+use crate::weights::WeightVector;
+use rand::rngs::SmallRng;
+use rand::RngCore;
+
+/// Naive Standard MWU: raw probability vector, fresh plan vector per round,
+/// the same multiplicative update and renormalization float ops as
+/// `WeightVector::scale_all` + `renormalize`.
+pub struct ReferenceStandard {
+    p: Vec<f64>,
+    eta: LearningRate,
+    iteration: usize,
+}
+
+impl ReferenceStandard {
+    pub fn new(k: usize, eta: LearningRate) -> Self {
+        Self {
+            p: vec![1.0 / k as f64; k],
+            eta,
+            iteration: 0,
+        }
+    }
+
+    pub fn plan(&self) -> Vec<usize> {
+        (0..self.p.len()).collect()
+    }
+
+    pub fn update(&mut self, rewards: &[f64]) {
+        assert_eq!(rewards.len(), self.p.len());
+        self.iteration += 1;
+        let eta = self.eta.at(self.iteration);
+        let base = 1.0 - eta;
+        for (i, p) in self.p.iter_mut().enumerate() {
+            let cost = 1.0 - crate::sanitize_reward(rewards[i]);
+            let f = if cost == 0.0 {
+                1.0
+            } else if cost == 1.0 {
+                base
+            } else {
+                base.powf(cost)
+            };
+            *p = (*p * f).max(1e-300);
+        }
+        let sum: f64 = self.p.iter().sum();
+        let inv = 1.0 / sum;
+        for p in &mut self.p {
+            *p *= inv;
+        }
+    }
+
+    pub fn probabilities(&self) -> &[f64] {
+        &self.p
+    }
+}
+
+/// Naive Slate MWU: the allocating mix → cap → scale pipeline rebuilt from
+/// scratch every round via the public simplex API, sampled with the
+/// allocating samplers, updated through a fresh multiplier vector. Uses the
+/// same slate-size / η derivation and the same importance-weight floor as
+/// `SlateMwu`.
+pub struct ReferenceSlate {
+    weights: WeightVector,
+    gamma: f64,
+    s: usize,
+    eta: f64,
+    sampling: SlateSampling,
+    plan_q: Vec<f64>,
+    last_plan: Vec<usize>,
+}
+
+impl ReferenceSlate {
+    pub fn new(k: usize, config: SlateConfig) -> Self {
+        let s = config
+            .slate_size
+            .unwrap_or_else(|| ((config.gamma * k as f64).ceil() as usize).clamp(2, k))
+            .min(k);
+        let eta = config
+            .eta
+            .unwrap_or(2.0 * config.gamma * s as f64 / k as f64);
+        Self {
+            weights: WeightVector::uniform(k),
+            gamma: config.gamma,
+            s,
+            eta,
+            sampling: config.sampling,
+            plan_q: Vec::new(),
+            last_plan: Vec::new(),
+        }
+    }
+
+    pub fn plan(&mut self, rng: &mut SmallRng) -> Vec<usize> {
+        let s = self.s;
+        let mixed = self.weights.mix_uniform(self.gamma);
+        let capped = mixed.capped(1.0 / s as f64);
+        let q: Vec<f64> = capped
+            .probabilities()
+            .iter()
+            .map(|&p| (s as f64 * p).min(1.0))
+            .collect();
+        let slate = match self.sampling {
+            SlateSampling::Systematic => systematic_sample(&q, s, rng),
+            SlateSampling::ConvexDecomposition => {
+                let d = decompose_into_slates(&q, s);
+                sample_decomposition(&d, rng)
+            }
+        };
+        self.plan_q = slate.iter().map(|&i| q[i]).collect();
+        self.last_plan = slate.clone();
+        slate
+    }
+
+    pub fn update(&mut self, rewards: &[f64]) {
+        assert_eq!(rewards.len(), self.last_plan.len());
+        let q_floor = 0.5 * self.gamma * self.s as f64 / self.weights.len() as f64;
+        let updates: Vec<(usize, f64)> = self
+            .last_plan
+            .iter()
+            .enumerate()
+            .map(|(j, &arm)| {
+                let q = self.plan_q[j].max(q_floor);
+                let g_hat = crate::sanitize_reward(rewards[j]) / q;
+                (arm, (self.eta * g_hat).exp())
+            })
+            .collect();
+        self.weights.scale_many(&updates);
+    }
+
+    pub fn weights(&self) -> &WeightVector {
+        &self.weights
+    }
+}
+
+/// Naive Distributed MWU: fresh observation / plan vectors every round, the
+/// same integer-threshold Bernoulli draws and multiply-shift range draws in
+/// the same order as `DistributedMwu`.
+pub struct ReferenceDistributed {
+    k: usize,
+    config: DistributedConfig,
+    choices: Vec<u32>,
+    counts: Vec<u32>,
+    observed: Vec<u32>,
+}
+
+impl ReferenceDistributed {
+    pub fn new(k: usize, config: DistributedConfig) -> Self {
+        let pop = config.population_for(k);
+        let choices: Vec<u32> = (0..pop).map(|j| (j % k) as u32).collect();
+        let mut counts = vec![0u32; k];
+        for &c in &choices {
+            counts[c as usize] += 1;
+        }
+        Self {
+            k,
+            config,
+            choices,
+            counts,
+            observed: vec![0; pop],
+        }
+    }
+
+    pub fn plan(&mut self, rng: &mut SmallRng) -> Vec<usize> {
+        let pop = self.choices.len();
+        let mu_threshold = (self.config.mu * u64::MAX as f64) as u64;
+        let k = self.k as u64;
+        let pop_minus_1 = (pop - 1) as u64;
+        for j in 0..pop {
+            if rng.next_u64() < mu_threshold {
+                let opt = ((rng.next_u64() as u128 * k as u128) >> 64) as usize;
+                self.observed[j] = opt as u32;
+            } else {
+                let mut nb = ((rng.next_u64() as u128 * pop_minus_1 as u128) >> 64) as usize;
+                if nb >= j {
+                    nb += 1;
+                }
+                self.observed[j] = self.choices[nb];
+            }
+        }
+        self.observed.iter().map(|&o| o as usize).collect()
+    }
+
+    pub fn update(&mut self, rewards: &[f64], rng: &mut SmallRng) {
+        let pop = self.choices.len();
+        assert_eq!(rewards.len(), pop);
+        let a = self.config.alpha;
+        let b = self.config.beta;
+        let alpha_threshold = (a * u64::MAX as f64) as u64;
+        let beta_threshold = (b * u64::MAX as f64) as u64;
+        for (j, &r) in rewards.iter().enumerate() {
+            let r = crate::sanitize_reward(r);
+            let threshold = if r <= 0.0 {
+                alpha_threshold
+            } else if r >= 1.0 {
+                beta_threshold
+            } else {
+                ((a + (b - a) * r) * u64::MAX as f64) as u64
+            };
+            if rng.next_u64() < threshold {
+                let new = self.observed[j];
+                let old = self.choices[j];
+                if new != old {
+                    self.counts[old as usize] -= 1;
+                    self.counts[new as usize] += 1;
+                    self.choices[j] = new;
+                }
+            }
+        }
+    }
+
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::slate::SlateMwu;
+    use crate::standard::{StandardConfig, StandardMwu};
+    use crate::{DistributedMwu, MwuAlgorithm};
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    /// Deterministic reward in [0, 1] keyed by (arm, round): identical
+    /// inputs for the reference and its production twin without consuming
+    /// either RNG stream.
+    fn reward(arm: usize, t: usize) -> f64 {
+        ((arm as u64 * 2654435761 + t as u64 * 97531 + 7) % 1000) as f64 / 999.0
+    }
+
+    fn bits(p: &[f64]) -> Vec<u64> {
+        p.iter().map(|x| x.to_bits()).collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn standard_trajectory_is_bit_identical(
+            seed in 0u64..1_000_000,
+            k in 2usize..48,
+            rounds in 10usize..60,
+        ) {
+            let mut alg = StandardMwu::new(k, StandardConfig::default());
+            let mut reference = ReferenceStandard::new(k, alg.config().eta);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            for t in 0..rounds {
+                let plan = alg.plan(&mut rng).to_vec();
+                prop_assert_eq!(&plan, &reference.plan());
+                let rewards: Vec<f64> =
+                    plan.iter().map(|&a| reward(a, t)).collect();
+                alg.update(&rewards, &mut rng);
+                reference.update(&rewards);
+                prop_assert_eq!(
+                    bits(&alg.probabilities()),
+                    bits(reference.probabilities())
+                );
+            }
+        }
+
+        #[test]
+        fn slate_trajectory_is_bit_identical(
+            seed in 0u64..1_000_000,
+            k in 4usize..40,
+            slate_size in 2usize..6,
+            decomp in any::<bool>(),
+        ) {
+            prop_assume!(slate_size <= k);
+            let config = SlateConfig {
+                slate_size: Some(slate_size),
+                sampling: if decomp {
+                    SlateSampling::ConvexDecomposition
+                } else {
+                    SlateSampling::Systematic
+                },
+                ..SlateConfig::default()
+            };
+            let mut alg = SlateMwu::new(k, config);
+            let mut reference = ReferenceSlate::new(k, config);
+            let mut r1 = SmallRng::seed_from_u64(seed);
+            let mut r2 = SmallRng::seed_from_u64(seed);
+            for t in 0..40 {
+                let plan = alg.plan(&mut r1).to_vec();
+                prop_assert_eq!(&plan, &reference.plan(&mut r2));
+                let rewards: Vec<f64> =
+                    plan.iter().map(|&a| reward(a, t)).collect();
+                alg.update(&rewards, &mut r1);
+                reference.update(&rewards);
+                prop_assert_eq!(
+                    bits(&alg.probabilities()),
+                    bits(reference.weights().probabilities())
+                );
+            }
+        }
+
+        #[test]
+        fn distributed_trajectory_is_bit_identical(
+            seed in 0u64..1_000_000,
+            k in 2usize..12,
+        ) {
+            let config = DistributedConfig::default();
+            let mut alg = DistributedMwu::new(k, config);
+            let mut reference = ReferenceDistributed::new(k, config);
+            let mut r1 = SmallRng::seed_from_u64(seed);
+            let mut r2 = SmallRng::seed_from_u64(seed);
+            for t in 0..30 {
+                let plan = alg.plan(&mut r1).to_vec();
+                prop_assert_eq!(&plan, &reference.plan(&mut r2));
+                let rewards: Vec<f64> =
+                    plan.iter().map(|&a| reward(a, t)).collect();
+                alg.update(&rewards, &mut r1);
+                reference.update(&rewards, &mut r2);
+                prop_assert_eq!(alg.counts(), reference.counts());
+            }
+        }
+    }
+}

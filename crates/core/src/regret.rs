@@ -88,6 +88,10 @@ pub fn run_with_regret_observed<A: MwuAlgorithm, B: Bandit, O: Observer>(
     let mut probes: u64 = 0;
     let mut total = 0.0;
     let mut rewards: Vec<f64> = Vec::new();
+    // Reused probability snapshot: the per-cycle policy-regret sum needs the
+    // full vector every cycle, so this buffer is on the hot path even when
+    // no observer is attached.
+    let mut probs: Vec<f64> = Vec::new();
     let mut convergence_reported = false;
     let start_pulls = bandit.pulls();
 
@@ -116,8 +120,8 @@ pub fn run_with_regret_observed<A: MwuAlgorithm, B: Bandit, O: Observer>(
         }
         alg.update(&rewards, &mut rng);
 
-        let p = alg.probabilities();
-        let cycle_regret: f64 = p
+        alg.probabilities_into(&mut probs);
+        let cycle_regret: f64 = probs
             .iter()
             .enumerate()
             .map(|(i, &pi)| pi * (best - bandit.expected_value(i)))
@@ -130,7 +134,7 @@ pub fn run_with_regret_observed<A: MwuAlgorithm, B: Bandit, O: Observer>(
                 iteration: cycle + 1,
                 leader: alg.leader(),
                 leader_share: alg.leader_share(),
-                entropy: crate::trace::entropy(&p),
+                entropy: crate::trace::entropy(&probs),
                 comm: CommDelta::between(&comm_before, &alg.comm_stats()),
                 reward: RewardSummary::of(&rewards),
             });

@@ -104,10 +104,12 @@ pub fn run_to_convergence<A: MwuAlgorithm, B: Bandit>(
 
 /// [`run_to_convergence`] with run telemetry delivered to `observer`.
 ///
-/// Event construction (including the `probabilities()` clone behind the
-/// entropy figure) happens only when `observer.enabled()`; with
+/// Event construction happens only when `observer.enabled()`; with
 /// [`NullObserver`] the whole telemetry path is compiled out, so the
-/// unobserved wrapper costs nothing over the pre-telemetry driver.
+/// unobserved wrapper costs nothing over the pre-telemetry driver. Even
+/// when enabled, the per-iteration probability snapshot behind the entropy
+/// figure borrows a reused buffer (`probabilities_into`) — observing a run
+/// does not reintroduce per-round allocation.
 pub fn run_to_convergence_observed<A: MwuAlgorithm, B: Bandit, O: Observer>(
     alg: &mut A,
     bandit: &mut B,
@@ -116,6 +118,8 @@ pub fn run_to_convergence_observed<A: MwuAlgorithm, B: Bandit, O: Observer>(
 ) -> RunOutcome {
     let mut rng = SmallRng::seed_from_u64(config.seed);
     let mut rewards: Vec<f64> = Vec::new();
+    // Reused probability snapshot for the per-iteration entropy figure.
+    let mut probs: Vec<f64> = Vec::new();
     let mut iterations = 0;
     let start_pulls = bandit.pulls();
     let mut convergence_reported = false;
@@ -145,11 +149,12 @@ pub fn run_to_convergence_observed<A: MwuAlgorithm, B: Bandit, O: Observer>(
         alg.update(&rewards, &mut rng);
         iterations += 1;
         if observer.enabled() {
+            alg.probabilities_into(&mut probs);
             observer.on_iteration(IterationEvent {
                 iteration: iterations,
                 leader: alg.leader(),
                 leader_share: alg.leader_share(),
-                entropy: crate::trace::entropy(&alg.probabilities()),
+                entropy: crate::trace::entropy(&probs),
                 comm: CommDelta::between(&comm_before, &alg.comm_stats()),
                 reward: RewardSummary::of(&rewards),
             });

@@ -182,6 +182,10 @@ impl MwuAlgorithm for StandardMwu {
         self.weights.probabilities().to_vec()
     }
 
+    fn probabilities_into(&self, out: &mut Vec<f64>) {
+        self.weights.probabilities_into(out);
+    }
+
     fn comm_stats(&self) -> CommStats {
         self.comm
     }

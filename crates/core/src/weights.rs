@@ -11,15 +11,31 @@
 //! scaled vector `q = s·p` lies inside the convex hull of the slate
 //! indicator vectors (§II-C of the paper). [`WeightVector::capped`]
 //! implements the water-filling cap-and-renormalize step.
+//!
+//! ## Allocation discipline
+//!
+//! Every simplex operation that produces a vector has an `_into` variant
+//! ([`WeightVector::mix_uniform_into`], [`WeightVector::capped_into`],
+//! [`WeightVector::probabilities_into`]) that writes into caller-owned
+//! scratch instead of allocating; the allocating forms delegate to them, so
+//! both paths perform bit-identical float operations. [`WeightVector::sample`]
+//! consults a cumulative-sum cache (built on demand with
+//! [`WeightVector::ensure_cdf`], cleared by every mutation) and falls back
+//! to the linear scan when the cache is absent; both return the same index
+//! for the same draw. See `docs/PERFORMANCE.md` for the ownership rules.
 
 use rand::rngs::SmallRng;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, Serialize, Value};
 
 /// A probability vector over `k` options with multiplicative-update support.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct WeightVector {
     p: Vec<f64>,
+    /// Cached cumulative sums of `p` (`cdf[i] = p_0 + … + p_i`), used by
+    /// [`Self::sample`] for O(log k) draws. Empty means "not built"; every
+    /// mutation clears it. Excluded from serialization and equality.
+    cdf: Vec<f64>,
 }
 
 impl WeightVector {
@@ -32,6 +48,7 @@ impl WeightVector {
         assert!(k > 0, "weight vector needs at least one option");
         Self {
             p: vec![1.0 / k as f64; k],
+            cdf: Vec::new(),
         }
     }
 
@@ -52,6 +69,7 @@ impl WeightVector {
         }
         Self {
             p: weights.iter().map(|w| w / sum).collect(),
+            cdf: Vec::new(),
         }
     }
 
@@ -74,6 +92,13 @@ impl WeightVector {
     /// The normalized probabilities.
     pub fn probabilities(&self) -> &[f64] {
         &self.p
+    }
+
+    /// Copy the probabilities into caller scratch (cleared first). The
+    /// allocation-free counterpart of `probabilities().to_vec()`.
+    pub fn probabilities_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend_from_slice(&self.p);
     }
 
     /// Index of the highest-probability option (ties: lowest index).
@@ -137,15 +162,24 @@ impl WeightVector {
     /// Mix with the uniform distribution:
     /// `p ← (1−γ)·p + γ/k` — the exploration floor used by Slate.
     pub fn mix_uniform(&self, gamma: f64) -> WeightVector {
+        let mut out = WeightVector {
+            p: Vec::with_capacity(self.p.len()),
+            cdf: Vec::new(),
+        };
+        self.mix_uniform_into(gamma, &mut out);
+        out
+    }
+
+    /// [`Self::mix_uniform`] into caller scratch: `out`'s previous contents
+    /// are discarded and its sample cache cleared. Performs the same float
+    /// operations as the allocating form.
+    pub fn mix_uniform_into(&self, gamma: f64, out: &mut WeightVector) {
         debug_assert!((0.0..=1.0).contains(&gamma));
         let k = self.p.len() as f64;
-        WeightVector {
-            p: self
-                .p
-                .iter()
-                .map(|&p| (1.0 - gamma) * p + gamma / k)
-                .collect(),
-        }
+        out.cdf.clear();
+        out.p.clear();
+        out.p
+            .extend(self.p.iter().map(|&p| (1.0 - gamma) * p + gamma / k));
     }
 
     /// Cap-and-renormalize: the closest vector (in the water-filling sense)
@@ -160,67 +194,106 @@ impl WeightVector {
     /// # Panics
     /// Panics if `cap · k < 1` (the simplex has no point below the cap).
     pub fn capped(&self, cap: f64) -> WeightVector {
+        let mut fixed = Vec::new();
+        let mut out = WeightVector {
+            p: Vec::with_capacity(self.p.len()),
+            cdf: Vec::new(),
+        };
+        self.capped_into(cap, &mut fixed, &mut out);
+        out
+    }
+
+    /// [`Self::capped`] into caller scratch. `fixed` is the water-filling
+    /// work buffer (one flag per coordinate) and `out` receives the capped
+    /// vector; both are cleared first, so only their capacity is reused.
+    /// Performs the same float operations as the allocating form.
+    pub fn capped_into(&self, cap: f64, fixed: &mut Vec<bool>, out: &mut WeightVector) {
         let k = self.p.len();
         assert!(
             cap * k as f64 >= 1.0 - 1e-12,
             "cap {cap} too small for {k} options"
         );
+        out.cdf.clear();
         if cap * k as f64 <= 1.0 + 1e-12 {
             // Boundary cap == 1/k: the uniform vector is the only feasible
             // point. Return it directly — water-filling here would divide
             // a ~0 remainder by a ~0 free mass and let rounding decide
             // whether the result lands on the simplex at all.
-            return WeightVector::uniform(k);
+            out.p.clear();
+            out.p.resize(k, 1.0 / k as f64);
+            return;
         }
-        let mut p = self.p.clone();
-        let mut fixed = vec![false; k];
-        loop {
-            // Mass already frozen at the cap, and the mass of free coords.
-            let mut over = false;
-            let mut free_sum = 0.0;
-            let mut fixed_sum = 0.0;
-            for i in 0..k {
-                if fixed[i] {
-                    fixed_sum += cap;
-                } else if p[i] >= cap {
-                    fixed[i] = true;
-                    fixed_sum += cap;
-                    over = true;
-                } else {
-                    free_sum += p[i];
-                }
-            }
-            if !over {
-                break;
-            }
-            let remaining = (1.0 - fixed_sum).max(0.0);
-            if free_sum <= 0.0 {
-                // Everything capped: distribute the remainder uniformly over
-                // non-fixed coords (possible only through rounding).
-                break;
-            }
-            let scale = remaining / free_sum;
-            for i in 0..k {
-                if fixed[i] {
-                    p[i] = cap;
-                } else {
-                    p[i] *= scale;
-                }
-            }
-        }
-        for i in 0..k {
-            if fixed[i] {
-                p[i] = cap;
-            }
-        }
-        let mut out = WeightVector { p };
+        let p = &mut out.p;
+        p.clear();
+        p.extend_from_slice(&self.p);
+        water_fill(p, cap, fixed);
         out.renormalize();
-        out
+    }
+
+    /// [`Self::capped_into`] with the γ-mix fused in: equivalent to
+    /// `self.mix_uniform(gamma).capped_into(cap, fixed, out)` but without
+    /// materializing the mixed vector — the mixed values are computed with
+    /// the identical float expression and water-filled in place. This is the
+    /// Slate plan kernel.
+    pub fn mix_capped_into(
+        &self,
+        gamma: f64,
+        cap: f64,
+        fixed: &mut Vec<bool>,
+        out: &mut WeightVector,
+    ) {
+        debug_assert!((0.0..=1.0).contains(&gamma));
+        let k = self.p.len();
+        assert!(
+            cap * k as f64 >= 1.0 - 1e-12,
+            "cap {cap} too small for {k} options"
+        );
+        out.cdf.clear();
+        if cap * k as f64 <= 1.0 + 1e-12 {
+            out.p.clear();
+            out.p.resize(k, 1.0 / k as f64);
+            return;
+        }
+        let kf = k as f64;
+        let p = &mut out.p;
+        p.clear();
+        p.extend(self.p.iter().map(|&x| (1.0 - gamma) * x + gamma / kf));
+        water_fill(p, cap, fixed);
+        out.renormalize();
+    }
+
+    /// Build the cumulative-sum cache used by [`Self::sample`], if absent.
+    ///
+    /// Call once after the weights settle for a round of repeated sampling;
+    /// any subsequent mutation (`scale_*`, `_into` writes) clears the cache
+    /// and `sample` falls back to the linear scan until it is rebuilt.
+    pub fn ensure_cdf(&mut self) {
+        if self.cdf.len() == self.p.len() {
+            return;
+        }
+        self.cdf.clear();
+        self.cdf.reserve(self.p.len());
+        let mut acc = 0.0;
+        for &p in &self.p {
+            acc += p;
+            self.cdf.push(acc);
+        }
     }
 
     /// Sample one option index proportional to probability.
+    ///
+    /// With a valid cumulative cache (see [`Self::ensure_cdf`]) this is a
+    /// binary search; otherwise a linear scan. Both accumulate the same
+    /// prefix sums in the same order, so for any draw `u` they return the
+    /// identical index (including the rounding tail, which maps to the last
+    /// option).
     pub fn sample(&self, rng: &mut SmallRng) -> usize {
         let u: f64 = rng.gen();
+        if self.cdf.len() == self.p.len() {
+            // First index whose cumulative sum exceeds u — the same index
+            // the linear scan below stops at.
+            return self.cdf.partition_point(|&c| c <= u).min(self.p.len() - 1);
+        }
         let mut acc = 0.0;
         for (i, &p) in self.p.iter().enumerate() {
             acc += p;
@@ -232,6 +305,26 @@ impl WeightVector {
         self.p.len() - 1
     }
 
+    /// Sample from the γ-uniform mixture `(1−γ)·p + γ/k` without
+    /// materializing it: one uniform draw, one O(k) scan, zero allocation.
+    /// Performs the same float operations as
+    /// `self.mix_uniform(gamma).sample(rng)` (the accumulated terms are the
+    /// identical expressions, in the identical order), so the drawn index is
+    /// bit-for-bit the same — this is Exp3's allocation-free plan path.
+    pub fn sample_mixed(&self, gamma: f64, rng: &mut SmallRng) -> usize {
+        debug_assert!((0.0..=1.0).contains(&gamma));
+        let k = self.p.len() as f64;
+        let u: f64 = rng.gen();
+        let mut acc = 0.0;
+        for (i, &p) in self.p.iter().enumerate() {
+            acc += (1.0 - gamma) * p + gamma / k;
+            if u < acc {
+                return i;
+            }
+        }
+        self.p.len() - 1
+    }
+
     /// Largest coordinate / cap diagnostics helper: true if some coordinate
     /// exceeds `cap` by more than `eps`.
     pub fn exceeds_cap(&self, cap: f64, eps: f64) -> bool {
@@ -239,12 +332,96 @@ impl WeightVector {
     }
 
     fn renormalize(&mut self) {
+        self.cdf.clear();
         let sum: f64 = self.p.iter().sum();
         debug_assert!(sum.is_finite() && sum > 0.0, "degenerate weight sum {sum}");
         let inv = 1.0 / sum;
         for p in &mut self.p {
             *p *= inv;
         }
+    }
+}
+
+/// Water-filling onto the capped simplex, in place: the shared kernel of
+/// [`WeightVector::capped_into`] and [`WeightVector::mix_capped_into`].
+///
+/// Each round first runs a chain-free scan asking whether any free
+/// coordinate sits at or above the cap; only when one does is the
+/// (serially dependent) mass-accounting pass executed. The scan performs no
+/// arithmetic, and the accounting pass accumulates `fixed_sum`/`free_sum`
+/// in the exact index order the original fused loop used, so the values
+/// written to `p` are bit-identical — the scan only skips work whose
+/// results the original discarded on its terminating pass.
+fn water_fill(p: &mut [f64], cap: f64, fixed: &mut Vec<bool>) {
+    let k = p.len();
+    fixed.clear();
+    fixed.resize(k, false);
+    loop {
+        // Would this pass fix a new coordinate? (Chain-free: no FP adds.)
+        let over = p
+            .iter()
+            .zip(fixed.iter())
+            .any(|(&pi, &fi)| !fi && pi >= cap);
+        if !over {
+            break;
+        }
+        // Mass already frozen at the cap, and the mass of free coords.
+        let mut free_sum = 0.0;
+        let mut fixed_sum = 0.0;
+        for i in 0..k {
+            if fixed[i] {
+                fixed_sum += cap;
+            } else if p[i] >= cap {
+                fixed[i] = true;
+                fixed_sum += cap;
+            } else {
+                free_sum += p[i];
+            }
+        }
+        let remaining = (1.0 - fixed_sum).max(0.0);
+        if free_sum <= 0.0 {
+            // Everything capped: distribute the remainder uniformly over
+            // non-fixed coords (possible only through rounding).
+            break;
+        }
+        let scale = remaining / free_sum;
+        for i in 0..k {
+            if fixed[i] {
+                p[i] = cap;
+            } else {
+                p[i] *= scale;
+            }
+        }
+    }
+    for i in 0..k {
+        if fixed[i] {
+            p[i] = cap;
+        }
+    }
+}
+
+// The sample cache is derived state: equality, hashing and the serialized
+// form consider only the probabilities. (The vendored serde_derive has no
+// `#[serde(skip)]`, hence the manual impls.)
+impl PartialEq for WeightVector {
+    fn eq(&self, other: &Self) -> bool {
+        self.p == other.p
+    }
+}
+
+impl Serialize for WeightVector {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![("p".to_string(), self.p.to_value())])
+    }
+}
+
+impl Deserialize for WeightVector {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let p = Vec::<f64>::from_value(v.field("p"))?;
+        if p.is_empty() {
+            return Err(Error::custom("WeightVector: empty probability vector"));
+        }
+        Ok(Self { p, cdf: Vec::new() })
     }
 }
 
@@ -257,6 +434,15 @@ mod tests {
         let sum: f64 = w.probabilities().iter().sum();
         assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
         assert!(w.probabilities().iter().all(|&p| p >= 0.0));
+    }
+
+    /// A cache-less twin with bitwise-identical probabilities (bypasses
+    /// `from_weights`, whose normalizing division would perturb the values).
+    fn uncached_twin(w: &WeightVector) -> WeightVector {
+        WeightVector {
+            p: w.probabilities().to_vec(),
+            cdf: Vec::new(),
+        }
     }
 
     #[test]
@@ -371,6 +557,75 @@ mod tests {
     }
 
     #[test]
+    fn into_variants_match_allocating_forms_bitwise() {
+        let mut w = WeightVector::uniform(16);
+        w.scale_all(|i| (i * i + 1) as f64);
+        // Scratch buffers deliberately pre-polluted (stale contents + caches)
+        // to prove the _into forms fully overwrite them.
+        let mut mixed = WeightVector::uniform(3);
+        mixed.ensure_cdf();
+        let mut fixed = vec![true; 40];
+        let mut capped = WeightVector::uniform(7);
+        capped.ensure_cdf();
+
+        w.mix_uniform_into(0.05, &mut mixed);
+        assert_eq!(mixed.probabilities(), w.mix_uniform(0.05).probabilities());
+        assert!(mixed.cdf.is_empty());
+
+        w.capped_into(0.125, &mut fixed, &mut capped);
+        assert_eq!(capped.probabilities(), w.capped(0.125).probabilities());
+        assert!(capped.cdf.is_empty());
+
+        let mut probs = vec![9.0; 2];
+        w.probabilities_into(&mut probs);
+        assert_eq!(probs.as_slice(), w.probabilities());
+    }
+
+    #[test]
+    fn mix_capped_into_matches_two_step_form_bitwise() {
+        // The fused plan kernel must reproduce mix_uniform → capped exactly,
+        // across uncapped, singly-capped and cascading-cap regimes.
+        for (weights, cap) in [
+            (vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0], 0.3), // nothing capped
+            (vec![60.0, 1.0, 1.0, 1.0, 1.0, 1.0], 0.3), // one coordinate capped
+            (vec![60.0, 30.0, 8.0, 1.0, 1.0, 1.0], 0.3), // cascading caps
+        ] {
+            let mut w = WeightVector::uniform(weights.len());
+            w.scale_all(|i| weights[i]);
+            for gamma in [0.0, 0.05, 0.5] {
+                let two_step = w.mix_uniform(gamma).capped(cap);
+                let mut fixed = vec![true; 2];
+                let mut fused = WeightVector::uniform(3);
+                fused.ensure_cdf();
+                w.mix_capped_into(gamma, cap, &mut fixed, &mut fused);
+                let a: Vec<u64> = fused.probabilities().iter().map(|x| x.to_bits()).collect();
+                let b: Vec<u64> = two_step
+                    .probabilities()
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .collect();
+                assert_eq!(a, b, "gamma={gamma} cap={cap}");
+                assert!(fused.cdf.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn capped_into_boundary_matches_uniform() {
+        let mut w = WeightVector::uniform(9);
+        w.scale_all(|i| (i + 1) as f64);
+        let mut fixed = Vec::new();
+        let mut out = WeightVector::uniform(2);
+        out.ensure_cdf();
+        w.capped_into(1.0 / 9.0, &mut fixed, &mut out);
+        assert_eq!(
+            out.probabilities(),
+            WeightVector::uniform(9).probabilities()
+        );
+        assert!(out.cdf.is_empty());
+    }
+
+    #[test]
     fn sample_follows_distribution() {
         let w = WeightVector::from_weights(&[0.1, 0.9]);
         let mut rng = SmallRng::seed_from_u64(1);
@@ -387,6 +642,111 @@ mod tests {
         for _ in 0..1000 {
             assert!(w.sample(&mut rng) < 3);
         }
+    }
+
+    #[test]
+    fn cached_sample_matches_linear_scan() {
+        let mut w = WeightVector::from_weights(&[4.0, 1.0, 0.5, 2.5, 2.0, 0.0, 3.0]);
+        let twin = uncached_twin(&w);
+        w.ensure_cdf();
+        assert_eq!(w.cdf.len(), w.len());
+        let mut r1 = SmallRng::seed_from_u64(42);
+        let mut r2 = SmallRng::seed_from_u64(42);
+        for _ in 0..20_000 {
+            assert_eq!(w.sample(&mut r1), twin.sample(&mut r2));
+        }
+    }
+
+    #[test]
+    fn cached_sample_handles_rounding_tail() {
+        // Probabilities that sum well short of 1 force every u in the gap
+        // into the tail; cached and uncached must agree it maps to the last
+        // option.
+        let mut w = WeightVector {
+            p: vec![0.2, 0.2, 0.2],
+            cdf: Vec::new(),
+        };
+        let twin = uncached_twin(&w);
+        w.ensure_cdf();
+        let mut r1 = SmallRng::seed_from_u64(3);
+        let mut r2 = SmallRng::seed_from_u64(3);
+        let mut tails = 0;
+        for _ in 0..10_000 {
+            let a = w.sample(&mut r1);
+            assert_eq!(a, twin.sample(&mut r2));
+            assert!(a < 3);
+            if a == 2 {
+                tails += 1;
+            }
+        }
+        // u ∈ (0.4, 1.0) lands on index 2, so the tail is actually exercised.
+        assert!(tails > 4000, "tail hit only {tails} times");
+    }
+
+    #[test]
+    fn cdf_cache_invalidated_by_every_mutation() {
+        let mut w = WeightVector::from_weights(&[1.0, 2.0, 3.0, 4.0]);
+
+        w.ensure_cdf();
+        w.scale_all(|i| if i == 0 { 2.0 } else { 0.5 });
+        assert!(w.cdf.is_empty(), "scale_all must clear the cache");
+
+        w.ensure_cdf();
+        w.scale_one(2, 3.0);
+        assert!(w.cdf.is_empty(), "scale_one must clear the cache");
+
+        w.ensure_cdf();
+        w.scale_many(&[(0, 0.5), (3, 2.0)]);
+        assert!(w.cdf.is_empty(), "scale_many must clear the cache");
+
+        // Derived vectors start without a cache.
+        w.ensure_cdf();
+        assert!(w.capped(0.5).cdf.is_empty());
+        assert!(w.mix_uniform(0.1).cdf.is_empty());
+
+        // After any rebuild, sampling agrees with the uncached scan.
+        w.ensure_cdf();
+        let twin = uncached_twin(&w);
+        let mut r1 = SmallRng::seed_from_u64(7);
+        let mut r2 = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            assert_eq!(w.sample(&mut r1), twin.sample(&mut r2));
+        }
+    }
+
+    #[test]
+    fn sample_mixed_matches_materialized_mixture() {
+        let mut w = WeightVector::uniform(11);
+        w.scale_all(|i| ((i % 4) + 1) as f64);
+        let mixed = w.mix_uniform(0.05);
+        let mut r1 = SmallRng::seed_from_u64(13);
+        let mut r2 = SmallRng::seed_from_u64(13);
+        for _ in 0..20_000 {
+            assert_eq!(w.sample_mixed(0.05, &mut r1), mixed.sample(&mut r2));
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip_excludes_cache() {
+        let mut w = WeightVector::from_weights(&[1.0, 2.0, 3.0]);
+        w.ensure_cdf();
+        let back = WeightVector::from_value(&w.to_value()).expect("roundtrip");
+        assert_eq!(back, w);
+        assert!(back.cdf.is_empty());
+        // The serialized form carries exactly the probability field.
+        match w.to_value() {
+            Value::Object(fields) => {
+                assert_eq!(fields.len(), 1);
+                assert_eq!(fields[0].0, "p");
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deserialize_rejects_empty_vector() {
+        let v = Value::Object(vec![("p".to_string(), Value::Array(Vec::new()))]);
+        assert!(WeightVector::from_value(&v).is_err());
     }
 
     #[test]

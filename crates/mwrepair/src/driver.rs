@@ -207,6 +207,8 @@ where
     let mut iterations = start_iteration;
     let mut convergence_reported = init_convergence_reported;
     let mut halted = false;
+    // Reused probability snapshot for the observer's entropy figure.
+    let mut probs: Vec<f64> = Vec::new();
 
     if observer.enabled() {
         observer.on_run_start(RunStartEvent {
@@ -328,11 +330,12 @@ where
         alg.update(&rewards, rng);
 
         if observer.enabled() {
+            alg.probabilities_into(&mut probs);
             observer.on_iteration(IterationEvent {
                 iteration: t + 1,
                 leader: alg.leader(),
                 leader_share: alg.leader_share(),
-                entropy: mwu_core::trace::entropy(&alg.probabilities()),
+                entropy: mwu_core::trace::entropy(&probs),
                 comm: CommDelta::between(&comm_before, &alg.comm_stats()),
                 reward: RewardSummary::of(&rewards),
             });
