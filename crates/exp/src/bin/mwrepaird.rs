@@ -1,0 +1,107 @@
+//! `mwrepaird` — the multi-tenant repair daemon (crates/service) as a CLI.
+//!
+//! Drives every job in a work directory to completion in iteration-sliced
+//! rounds across the rayon pool, crash-safe at each slice boundary:
+//!
+//! ```text
+//! mwrepaird --work run/ --jobs batch.jsonl            # first run
+//! mwrepaird --work run/ --halt-after 5                # cooperative kill
+//! mwrepaird --work run/                               # resume from spool
+//! ```
+//!
+//! Jobs arrive as JSONL (see `docs/SERVICE.md`) via `--jobs FILE` or
+//! `--jobs -` (stdin); without `--jobs`, the daemon reloads the canonical
+//! spool `<work>/jobs.jsonl` written by a previous run. The run summary
+//! (the only wall-clock-bearing output) is printed to stdout as JSON.
+//!
+//! Flags: `--work DIR` (required), `--jobs FILE|-`, `--slice N` (update
+//! cycles per session per round, default 16), `--halt-after N` (stop after
+//! N rounds, leaving unfinished sessions checkpointed), `--threads N`,
+//! `--quiet`. Exit codes: 2 usage, 1 protocol/session/I-O failure.
+
+use mwrepair_service::{Daemon, DaemonConfig};
+use std::io::Read;
+use std::path::PathBuf;
+
+fn usage(msg: &str) -> ! {
+    eprintln!(
+        "{msg}\nusage: mwrepaird --work DIR [--jobs FILE|-] [--slice N] [--halt-after ROUNDS] \
+         [--threads N] [--quiet]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, v: &str) -> T {
+    v.parse()
+        .unwrap_or_else(|_| usage(&format!("{flag} {v:?}: not a valid number")))
+}
+
+fn main() {
+    let mut work: Option<PathBuf> = None;
+    let mut jobs: Option<String> = None;
+    let mut slice: usize = 16;
+    let mut halt_after: Option<u64> = None;
+    let mut threads: Option<usize> = None;
+    let mut quiet = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut take = |flag: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--work" => work = Some(PathBuf::from(take("--work"))),
+            "--jobs" => jobs = Some(take("--jobs")),
+            "--slice" => slice = parse_num("--slice", &take("--slice")),
+            "--halt-after" => halt_after = Some(parse_num("--halt-after", &take("--halt-after"))),
+            "--threads" => threads = Some(parse_num("--threads", &take("--threads"))),
+            "--quiet" => quiet = true,
+            other => usage(&format!("unknown flag {other:?}")),
+        }
+    }
+    let work = work.unwrap_or_else(|| usage("--work DIR is required"));
+    if let Some(n) = threads {
+        rayon::set_num_threads(n.max(1));
+    }
+
+    let mut config = DaemonConfig::new(work);
+    config.slice_iterations = slice.max(1);
+    config.halt_after_rounds = halt_after;
+    config.quiet = quiet;
+    let mut daemon = Daemon::open(config).unwrap_or_else(|e| {
+        eprintln!("mwrepaird: {e}");
+        std::process::exit(1);
+    });
+    if let Some(src) = jobs {
+        let bytes = if src == "-" {
+            let mut buf = Vec::new();
+            std::io::stdin()
+                .read_to_end(&mut buf)
+                .unwrap_or_else(|e| usage(&format!("reading stdin: {e}")));
+            buf
+        } else {
+            std::fs::read(&src).unwrap_or_else(|e| usage(&format!("reading {src:?}: {e}")))
+        };
+        match daemon.submit_bytes(&bytes) {
+            Ok(n) => {
+                if !quiet {
+                    eprintln!(
+                        "mwrepaird: accepted {n} new jobs ({} total)",
+                        daemon.sessions().len()
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("mwrepaird: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    match daemon.run() {
+        Ok(summary) => println!("{}", summary.to_json()),
+        Err(e) => {
+            eprintln!("mwrepaird: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,532 @@
+//! The `mwrepaird` daemon: job intake, round scheduling, and per-tenant
+//! budget enforcement.
+//!
+//! A daemon owns a **work directory**. Jobs arrive as JSONL batches
+//! ([`crate::protocol`]) — either handed to [`Daemon::submit_bytes`] or
+//! found spooled in `<workdir>/jobs.jsonl` at [`Daemon::open`]. Every
+//! accepted job becomes a [`SessionRunner`] rooted at
+//! `<workdir>/tenants/<tenant>/<job-id>/`; [`Daemon::run`] first rewrites
+//! the canonical spool (so a later daemon can reload the exact job set)
+//! and then drives all sessions in rounds: each round runs one iteration
+//! slice of every active session across the rayon pool, then — at the
+//! round barrier — surfaces session errors, applies tenant budgets, and
+//! records completion latencies.
+//!
+//! Scheduling is deterministic by construction: sessions share nothing
+//! mutable (each has its own ledger, checkpoint, and trace file; cached
+//! scenario pools are immutable), and budget decisions are made only at
+//! barriers over commutative sums of the owning tenant's own session
+//! costs. Thread count, session interleaving, and cooperative halts
+//! therefore cannot change any session's trace or report bytes.
+
+use crate::protocol::{parse_jobs, BudgetSpec, JobLine, JobSpec, ProtocolError};
+use crate::session::{write_atomic, ScenarioData, SessionError, SessionRunner, SessionStatus};
+use rayon::prelude::*;
+use serde::Serialize;
+use std::collections::HashMap;
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Schema tag of the summary document [`Daemon::run`] returns.
+pub const SUMMARY_SCHEMA: &str = "mwrepaird-summary/v1";
+
+/// Name of the canonical job spool inside the work directory.
+pub const SPOOL_FILE: &str = "jobs.jsonl";
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Work directory: spool, per-tenant session state, traces.
+    pub workdir: PathBuf,
+    /// Update cycles per session per round (min 1). Part of the
+    /// determinism contract: the same jobs under a different slice length
+    /// produce the same bytes, but checkpoint cadence — and therefore
+    /// where a cooperative halt can land — differs.
+    pub slice_iterations: usize,
+    /// Cooperative kill: stop after this many rounds, leaving every
+    /// unfinished session checkpointed and resumable.
+    pub halt_after_rounds: Option<u64>,
+    /// Suppress progress lines on stderr.
+    pub quiet: bool,
+}
+
+impl DaemonConfig {
+    /// Config with default knobs (slice of 16, no halt, progress on).
+    pub fn new(workdir: impl Into<PathBuf>) -> Self {
+        DaemonConfig {
+            workdir: workdir.into(),
+            slice_iterations: 16,
+            halt_after_rounds: None,
+            quiet: false,
+        }
+    }
+}
+
+/// Why the daemon refused a batch or aborted a run.
+#[derive(Debug)]
+pub enum DaemonError {
+    /// A JSONL batch failed to parse or validate.
+    Protocol(ProtocolError),
+    /// A well-formed line conflicts with daemon state (duplicate id with
+    /// different content, conflicting budget, intractable variant, …).
+    Rejected {
+        /// Offending job id or tenant.
+        id: String,
+        /// What went wrong.
+        message: String,
+    },
+    /// A session failed mid-run.
+    Session {
+        /// The failing session's job id.
+        job: String,
+        /// The underlying failure.
+        error: SessionError,
+    },
+    /// Work-directory I/O failure outside any one session.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for DaemonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DaemonError::Protocol(e) => write!(f, "{e}"),
+            DaemonError::Rejected { id, message } => write!(f, "rejected {id:?}: {message}"),
+            DaemonError::Session { job, error } => write!(f, "session {job:?}: {error}"),
+            DaemonError::Io(e) => write!(f, "work directory I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DaemonError {}
+
+impl From<ProtocolError> for DaemonError {
+    fn from(e: ProtocolError) -> Self {
+        DaemonError::Protocol(e)
+    }
+}
+
+impl From<std::io::Error> for DaemonError {
+    fn from(e: std::io::Error) -> Self {
+        DaemonError::Io(e)
+    }
+}
+
+/// End-of-run accounting. Wall-clock lives only here (and in
+/// `BENCH_service.json`), never in work-directory artifacts, which must
+/// stay byte-deterministic.
+#[derive(Debug, Clone, Serialize)]
+pub struct DaemonSummary {
+    /// Schema tag ([`SUMMARY_SCHEMA`]).
+    pub schema: String,
+    /// Total sessions under management.
+    pub sessions: usize,
+    /// Sessions with a `Completed` report.
+    pub completed: usize,
+    /// Completed sessions that found a repair.
+    pub repaired: usize,
+    /// Sessions halted with a `BudgetExhausted` report.
+    pub budget_exhausted: usize,
+    /// Sessions still checkpointed mid-flight (cooperative halt).
+    pub halted_active: usize,
+    /// Rounds executed by this run.
+    pub rounds: u64,
+    /// Wall-clock of this run in milliseconds.
+    pub wall_ms: f64,
+    /// Per-session completion latency (ms since run start), one entry per
+    /// session that finished during this run, in submission order.
+    pub session_wall_ms: Vec<f64>,
+}
+
+impl DaemonSummary {
+    /// Canonical single-line JSON document.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("summary serializes")
+    }
+}
+
+/// A multi-tenant session-manager daemon over one work directory.
+pub struct Daemon {
+    config: DaemonConfig,
+    sessions: Vec<SessionRunner>,
+    /// Job id → index into `sessions`, for duplicate detection.
+    index: HashMap<String, usize>,
+    /// At most one budget per tenant, in first-seen order.
+    budgets: Vec<BudgetSpec>,
+    /// Scenario-spec cache key → shared scenario + pool. Pools are built
+    /// once per distinct spec with a fixed pool seed (part of the
+    /// scenario's identity) and shared immutably across sessions.
+    scenarios: HashMap<String, Arc<ScenarioData>>,
+}
+
+impl Daemon {
+    /// Open a daemon over `config.workdir`, creating it if needed and
+    /// reloading any spooled job set from a previous run (sessions resume
+    /// from their checkpoints; finished sessions stay finished).
+    pub fn open(config: DaemonConfig) -> Result<Self, DaemonError> {
+        std::fs::create_dir_all(&config.workdir)?;
+        let spool = config.workdir.join(SPOOL_FILE);
+        let mut daemon = Daemon {
+            config,
+            sessions: Vec::new(),
+            index: HashMap::new(),
+            budgets: Vec::new(),
+            scenarios: HashMap::new(),
+        };
+        if spool.exists() {
+            let bytes = std::fs::read(&spool)?;
+            daemon.submit_bytes(&bytes)?;
+        }
+        Ok(daemon)
+    }
+
+    /// The daemon's configuration.
+    pub fn config(&self) -> &DaemonConfig {
+        &self.config
+    }
+
+    /// All sessions in submission order.
+    pub fn sessions(&self) -> &[SessionRunner] {
+        &self.sessions
+    }
+
+    /// Look up a session by job id.
+    pub fn session(&self, id: &str) -> Option<&SessionRunner> {
+        self.index.get(id).map(|&i| &self.sessions[i])
+    }
+
+    /// Submit a JSONL batch (see [`crate::protocol`]). Resubmitting a
+    /// byte-equal job or budget is an idempotent no-op, so replaying the
+    /// spool after a crash is safe; a known id with *different* content is
+    /// rejected. Returns the number of newly accepted jobs.
+    pub fn submit_bytes(&mut self, bytes: &[u8]) -> Result<usize, DaemonError> {
+        let batch = parse_jobs(bytes)?;
+        for budget in batch.budgets {
+            match self.budgets.iter().find(|b| b.tenant == budget.tenant) {
+                Some(existing) if *existing == budget => {}
+                Some(_) => {
+                    return Err(DaemonError::Rejected {
+                        id: budget.tenant,
+                        message: "conflicting budget for this tenant already registered".into(),
+                    })
+                }
+                None => self.budgets.push(budget),
+            }
+        }
+        let mut accepted = 0;
+        for job in batch.jobs {
+            if let Some(&i) = self.index.get(&job.id) {
+                if *self.sessions[i].job() == job {
+                    continue;
+                }
+                return Err(DaemonError::Rejected {
+                    id: job.id,
+                    message: "job id already registered with different content".into(),
+                });
+            }
+            let session = self.open_session(job)?;
+            self.index
+                .insert(session.job().id.clone(), self.sessions.len());
+            self.sessions.push(session);
+            accepted += 1;
+        }
+        Ok(accepted)
+    }
+
+    fn open_session(&mut self, job: JobSpec) -> Result<SessionRunner, DaemonError> {
+        let key = job.scenario.cache_key();
+        let data = match self.scenarios.get(&key) {
+            Some(d) => Arc::clone(d),
+            None => {
+                let scenario = job
+                    .scenario
+                    .build()
+                    .map_err(|message| DaemonError::Rejected {
+                        id: job.id.clone(),
+                        message,
+                    })?;
+                // Pool seed is fixed: the pool is part of the scenario's
+                // identity, shared by every job naming the same spec.
+                let pool = scenario.build_pool(1, None);
+                let data = Arc::new(ScenarioData { scenario, pool });
+                self.scenarios.insert(key, Arc::clone(&data));
+                data
+            }
+        };
+        if job.algorithm == mwrepair::VariantChoice::Distributed {
+            let config = mwrepair::MwRepairConfig::seeded(job.seed);
+            let arms = mwrepair::effective_arms(data.pool.len(), &config);
+            if !mwu_core::DistributedConfig::default().is_tractable(arms) {
+                return Err(DaemonError::Rejected {
+                    id: job.id,
+                    message: format!("distributed variant intractable at {arms} arms"),
+                });
+            }
+        }
+        SessionRunner::open(job, data, &self.config.workdir).map_err(|error| DaemonError::Session {
+            job: "<open>".into(),
+            error,
+        })
+    }
+
+    /// Persist the canonical spool (budgets first, then jobs, in
+    /// submission order) so a later [`Daemon::open`] reloads this exact
+    /// job set.
+    fn write_spool(&self) -> Result<(), DaemonError> {
+        let mut doc = String::new();
+        for b in &self.budgets {
+            doc.push_str(&crate::protocol::encode_line(&JobLine::Budget(b.clone())));
+            doc.push('\n');
+        }
+        for s in &self.sessions {
+            doc.push_str(&crate::protocol::encode_line(&JobLine::Job(
+                s.job().clone(),
+            )));
+            doc.push('\n');
+        }
+        write_atomic(&self.config.workdir.join(SPOOL_FILE), doc.as_bytes())?;
+        Ok(())
+    }
+
+    /// Drive all sessions to completion (or to `halt_after_rounds`),
+    /// returning the run's accounting. Sessions that fail abort the run
+    /// at the next round barrier; everything already persisted stays
+    /// valid and resumable.
+    pub fn run(&mut self) -> Result<DaemonSummary, DaemonError> {
+        self.write_spool()?;
+        let start = Instant::now();
+        let slice = self.config.slice_iterations.max(1);
+        let mut rounds: u64 = 0;
+        loop {
+            let active = self.sessions.iter().filter(|s| s.is_active()).count();
+            if active == 0 {
+                break;
+            }
+            if let Some(cap) = self.config.halt_after_rounds {
+                if rounds >= cap {
+                    break;
+                }
+            }
+            if !self.config.quiet && rounds.is_multiple_of(50) {
+                eprintln!("mwrepaird: round {rounds}, {active} active sessions");
+            }
+            self.sessions
+                .par_iter_mut()
+                .for_each(|s| s.run_slice(slice));
+            rounds += 1;
+            // Round barrier: errors first, then budgets, then latency.
+            for s in &mut self.sessions {
+                if let Some(error) = s.take_error() {
+                    return Err(DaemonError::Session {
+                        job: s.job().id.clone(),
+                        error,
+                    });
+                }
+            }
+            self.enforce_budgets()?;
+            let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+            for s in &mut self.sessions {
+                if s.completed_this_run() && s.wall_ms.is_none() {
+                    s.wall_ms = Some(elapsed_ms);
+                }
+            }
+        }
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let mut completed = 0;
+        let mut repaired = 0;
+        let mut budget_exhausted = 0;
+        let mut session_wall_ms = Vec::new();
+        for s in &self.sessions {
+            if let Some(r) = s.report() {
+                match r.status {
+                    SessionStatus::Completed => {
+                        completed += 1;
+                        if r.repaired {
+                            repaired += 1;
+                        }
+                    }
+                    SessionStatus::BudgetExhausted => budget_exhausted += 1,
+                }
+            }
+            if let Some(ms) = s.wall_ms() {
+                session_wall_ms.push(ms);
+            }
+        }
+        let halted_active = self.sessions.iter().filter(|s| s.is_active()).count();
+        Ok(DaemonSummary {
+            schema: SUMMARY_SCHEMA.into(),
+            sessions: self.sessions.len(),
+            completed,
+            repaired,
+            budget_exhausted,
+            halted_active,
+            rounds,
+            wall_ms,
+            session_wall_ms,
+        })
+    }
+
+    /// Apply tenant budgets at a round barrier: sum every tenant session's
+    /// deterministic cost snapshot (finished sessions included — budgets
+    /// cover the tenant's whole job set) and finish the still-active ones
+    /// as budget-exhausted once the cap is strictly exceeded.
+    fn enforce_budgets(&mut self) -> Result<(), DaemonError> {
+        for budget in &self.budgets {
+            let (mut evals, mut ms) = (0u64, 0u64);
+            for s in self
+                .sessions
+                .iter()
+                .filter(|s| s.job().tenant == budget.tenant)
+            {
+                let c = s.cost();
+                evals += c.fitness_evals;
+                ms += c.simulated_ms;
+            }
+            if !budget.exceeded(evals, ms) {
+                continue;
+            }
+            for s in &mut self.sessions {
+                if s.job().tenant == budget.tenant && s.is_active() {
+                    s.finish_budget_exhausted()
+                        .map_err(|error| DaemonError::Session {
+                            job: s.job().id.clone(),
+                            error,
+                        })?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::encode_line;
+    use crate::protocol::tests::sample_job;
+
+    fn tmp_workdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mwrd-daemon-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn quiet_config(workdir: &std::path::Path) -> DaemonConfig {
+        let mut c = DaemonConfig::new(workdir.to_path_buf());
+        c.quiet = true;
+        c.slice_iterations = 4;
+        c
+    }
+
+    fn batch_of(jobs: &[JobSpec], budgets: &[BudgetSpec]) -> Vec<u8> {
+        let mut doc = String::new();
+        for b in budgets {
+            doc.push_str(&encode_line(&JobLine::Budget(b.clone())));
+            doc.push('\n');
+        }
+        for j in jobs {
+            doc.push_str(&encode_line(&JobLine::Job(j.clone())));
+            doc.push('\n');
+        }
+        doc.into_bytes()
+    }
+
+    #[test]
+    fn submit_is_idempotent_and_rejects_conflicts() {
+        let workdir = tmp_workdir("idem");
+        let mut d = Daemon::open(quiet_config(&workdir)).unwrap();
+        let job = sample_job("j1", "alice");
+        let bytes = batch_of(std::slice::from_ref(&job), &[]);
+        assert_eq!(d.submit_bytes(&bytes).unwrap(), 1);
+        assert_eq!(d.submit_bytes(&bytes).unwrap(), 0);
+        let mut conflicting = job;
+        conflicting.seed += 1;
+        let err = d.submit_bytes(&batch_of(&[conflicting], &[])).unwrap_err();
+        assert!(matches!(err, DaemonError::Rejected { .. }), "{err}");
+        std::fs::remove_dir_all(&workdir).unwrap();
+    }
+
+    #[test]
+    fn run_completes_jobs_and_spool_reloads() {
+        let workdir = tmp_workdir("spool");
+        let jobs = [sample_job("j1", "alice"), sample_job("j2", "bob")];
+        {
+            let mut d = Daemon::open(quiet_config(&workdir)).unwrap();
+            d.submit_bytes(&batch_of(&jobs, &[])).unwrap();
+            let summary = d.run().unwrap();
+            assert_eq!(summary.sessions, 2);
+            assert_eq!(summary.completed, 2);
+            assert_eq!(summary.halted_active, 0);
+            assert_eq!(summary.session_wall_ms.len(), 2);
+        }
+        // Reload from the spool alone: everything is already done.
+        let mut d = Daemon::open(quiet_config(&workdir)).unwrap();
+        assert_eq!(d.sessions().len(), 2);
+        let summary = d.run().unwrap();
+        assert_eq!(summary.completed, 2);
+        assert_eq!(summary.rounds, 0);
+        assert!(summary.session_wall_ms.is_empty());
+        std::fs::remove_dir_all(&workdir).unwrap();
+    }
+
+    #[test]
+    fn budget_exhaustion_halts_tenant_with_checkpoint() {
+        let workdir = tmp_workdir("budget");
+        let job = sample_job("j1", "alice");
+        let budget = BudgetSpec {
+            tenant: "alice".into(),
+            max_evals: Some(1),
+            max_ms: None,
+        };
+        let mut d = Daemon::open(quiet_config(&workdir)).unwrap();
+        d.submit_bytes(&batch_of(&[job], &[budget])).unwrap();
+        let summary = d.run().unwrap();
+        assert_eq!(summary.budget_exhausted, 1);
+        assert_eq!(summary.completed, 0);
+        let s = d.session("j1").unwrap();
+        let report = s.report().unwrap();
+        assert_eq!(report.status, SessionStatus::BudgetExhausted);
+        assert!(report.iterations < s.job().max_iterations);
+        assert!(s.dir().join("session.json").exists(), "checkpoint retained");
+        std::fs::remove_dir_all(&workdir).unwrap();
+    }
+
+    #[test]
+    fn cooperative_halt_then_resume_matches_uninterrupted() {
+        let ref_dir = tmp_workdir("halt-ref");
+        let jobs = [sample_job("j1", "alice"), sample_job("j2", "bob")];
+        {
+            let mut d = Daemon::open(quiet_config(&ref_dir)).unwrap();
+            d.submit_bytes(&batch_of(&jobs, &[])).unwrap();
+            d.run().unwrap();
+        }
+        let workdir = tmp_workdir("halt");
+        {
+            let mut config = quiet_config(&workdir);
+            config.halt_after_rounds = Some(1);
+            let mut d = Daemon::open(config).unwrap();
+            d.submit_bytes(&batch_of(&jobs, &[])).unwrap();
+            let summary = d.run().unwrap();
+            assert_eq!(summary.rounds, 1);
+            assert_eq!(summary.halted_active, 2);
+        }
+        {
+            // Resume purely from the spool: no resubmission.
+            let mut d = Daemon::open(quiet_config(&workdir)).unwrap();
+            let summary = d.run().unwrap();
+            assert_eq!(summary.completed, 2);
+        }
+        for job in &jobs {
+            let rel = PathBuf::from("tenants").join(&job.tenant).join(&job.id);
+            let trace_a = std::fs::read(ref_dir.join(&rel).join("trace.jsonl")).unwrap();
+            let trace_b = std::fs::read(workdir.join(&rel).join("trace.jsonl")).unwrap();
+            assert_eq!(trace_a, trace_b, "trace bytes diverged for {}", job.id);
+            let report_a = std::fs::read(ref_dir.join(&rel).join("report.json")).unwrap();
+            let report_b = std::fs::read(workdir.join(&rel).join("report.json")).unwrap();
+            assert_eq!(report_a, report_b);
+        }
+        std::fs::remove_dir_all(&ref_dir).unwrap();
+        std::fs::remove_dir_all(&workdir).unwrap();
+    }
+}

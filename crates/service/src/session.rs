@@ -1,0 +1,686 @@
+//! One daemon-managed repair session: sliced execution, durable
+//! checkpointing, and a byte-deterministic trace + report.
+//!
+//! The daemon drives every session in fixed-size iteration slices. Each
+//! slice constructs a fresh algorithm instance of the job's variant, hands
+//! it to [`mwrepair::repair_resumable`] with the previous slice's
+//! [`Checkpoint`] (the checkpoint *is* the carried state — there is no
+//! in-memory algorithm between slices), buffers the slice's trace events
+//! in memory, and then persists in a crash-ordered sequence:
+//!
+//! 1. append the slice's trace bytes to `trace.jsonl` and fsync;
+//! 2. atomically replace `session.json` (recorded trace length + the new
+//!    checkpoint) — or, on completion, atomically write `report.json`.
+//!
+//! A crash between (1) and (2) leaves trace bytes past the recorded
+//! length; [`SessionRunner::open`] truncates the trace back to the length
+//! `session.json` vouches for and re-runs the slice, which re-appends the
+//! identical bytes. That is what makes the kill/resume half of the
+//! determinism contract hold byte-for-byte.
+//!
+//! `RunStart` is emitted by the driver at every `repair_resumable` call;
+//! the per-slice observer suppresses it on every slice but the first, so
+//! a sliced (and resumed) trace is byte-identical to an uninterrupted
+//! `repair_observed` trace of the same job.
+
+use crate::protocol::JobSpec;
+use apr_sim::ledger::CostSnapshot;
+use apr_sim::{BugScenario, CostLedger, MutationPool};
+use mwrepair::{
+    effective_arms, repair_resumable, Checkpoint, CheckpointError, MwRepairConfig, RepairOutcome,
+    SessionControl, SessionResult, VariantChoice,
+};
+use mwu_core::trace::{JsonlSink, Observer, RunStartEvent, TraceEvent};
+use mwu_core::{
+    DistributedConfig, DistributedMwu, MwuAlgorithm, SlateConfig, SlateMwu, StandardConfig,
+    StandardMwu,
+};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// `session.json` format version.
+const META_VERSION: u32 = 1;
+
+/// `report.json` schema tag.
+pub const REPORT_SCHEMA: &str = "mwrepaird/v1";
+
+/// A scenario plus its precomputed mutation pool, shared (immutably) by
+/// every session that references the same [`crate::ScenarioSpec`].
+#[derive(Debug)]
+pub struct ScenarioData {
+    /// The bug scenario.
+    pub scenario: BugScenario,
+    /// Its precomputed safe-mutation pool.
+    pub pool: MutationPool,
+}
+
+/// Why a session could not run or persist.
+#[derive(Debug)]
+pub enum SessionError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Checkpoint capture / restore failure.
+    Checkpoint(CheckpointError),
+    /// On-disk session state contradicts itself.
+    Corrupt(String),
+    /// The job's variant cannot run at this arm count.
+    Intractable(String),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Io(e) => write!(f, "session I/O error: {e}"),
+            SessionError::Checkpoint(e) => write!(f, "session checkpoint error: {e}"),
+            SessionError::Corrupt(m) => write!(f, "session state corrupt: {m}"),
+            SessionError::Intractable(m) => write!(f, "session intractable: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<std::io::Error> for SessionError {
+    fn from(e: std::io::Error) -> Self {
+        SessionError::Io(e)
+    }
+}
+
+impl From<CheckpointError> for SessionError {
+    fn from(e: CheckpointError) -> Self {
+        SessionError::Checkpoint(e)
+    }
+}
+
+/// How a finished session ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SessionStatus {
+    /// Ran to a repair or to its iteration cap.
+    Completed,
+    /// Halted at a round barrier because its tenant's budget ran out; the
+    /// checkpoint in `session.json` is retained for a later resume.
+    BudgetExhausted,
+}
+
+/// The durable per-session result (`report.json`). Contains no wall-clock
+/// fields, so it is byte-deterministic like the trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionReport {
+    /// Schema tag ([`REPORT_SCHEMA`]).
+    pub schema: String,
+    /// Job id.
+    pub job_id: String,
+    /// Owning tenant.
+    pub tenant: String,
+    /// How the session ended.
+    pub status: SessionStatus,
+    /// Update cycles executed (absolute).
+    pub iterations: usize,
+    /// Probes issued (absolute).
+    pub probes: u64,
+    /// Session cost at the end.
+    pub cost: CostSnapshot,
+    /// Convenience flag: was a repair found?
+    pub repaired: bool,
+    /// Full outcome for completed sessions (`None` when budget-exhausted).
+    pub outcome: Option<RepairOutcome>,
+}
+
+impl SessionReport {
+    fn completed(job: &JobSpec, outcome: RepairOutcome) -> Self {
+        SessionReport {
+            schema: REPORT_SCHEMA.into(),
+            job_id: job.id.clone(),
+            tenant: job.tenant.clone(),
+            status: SessionStatus::Completed,
+            iterations: outcome.iterations,
+            probes: outcome.probes,
+            cost: outcome.cost,
+            repaired: outcome.is_repaired(),
+            outcome: Some(outcome),
+        }
+    }
+
+    fn budget_exhausted(job: &JobSpec, ck: &Checkpoint) -> Self {
+        SessionReport {
+            schema: REPORT_SCHEMA.into(),
+            job_id: job.id.clone(),
+            tenant: job.tenant.clone(),
+            status: SessionStatus::BudgetExhausted,
+            iterations: ck.iteration,
+            probes: ck.probes,
+            cost: ck.cost,
+            repaired: false,
+            outcome: None,
+        }
+    }
+
+    /// Canonical single-line JSON document.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("report serializes")
+    }
+
+    /// Parse a report document.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| e.to_string())
+    }
+}
+
+/// Durable between-slice state (`session.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct SessionMeta {
+    version: u32,
+    job_id: String,
+    /// Bytes of `trace.jsonl` this checkpoint vouches for.
+    trace_len: u64,
+    checkpoint: Checkpoint,
+}
+
+/// One session under daemon management.
+#[derive(Debug)]
+pub struct SessionRunner {
+    job: JobSpec,
+    dir: PathBuf,
+    data: Arc<ScenarioData>,
+    config: MwRepairConfig,
+    checkpoint: Option<Checkpoint>,
+    trace_len: u64,
+    report: Option<SessionReport>,
+    /// Report was already on disk when the session was opened (a previous
+    /// daemon run finished it) — excluded from this run's latency stats.
+    preexisting: bool,
+    error: Option<SessionError>,
+    /// Wall-clock from daemon start to the completion barrier, filled in
+    /// by the daemon. Summary-only: never written into the work dir.
+    pub(crate) wall_ms: Option<f64>,
+}
+
+impl SessionRunner {
+    /// Open (or re-open) the session rooted at
+    /// `workdir/tenants/<tenant>/<job-id>/`, reconciling any on-disk state
+    /// from a previous daemon run: a report means the session is done; a
+    /// `session.json` resumes from its checkpoint after truncating the
+    /// trace to the recorded length; otherwise the session starts fresh.
+    pub fn open(
+        job: JobSpec,
+        data: Arc<ScenarioData>,
+        workdir: &Path,
+    ) -> Result<Self, SessionError> {
+        let dir = workdir.join("tenants").join(&job.tenant).join(&job.id);
+        std::fs::create_dir_all(&dir)?;
+        let mut config = MwRepairConfig::seeded(job.seed);
+        config.max_iterations = job.max_iterations;
+        let mut runner = SessionRunner {
+            job,
+            dir,
+            data,
+            config,
+            checkpoint: None,
+            trace_len: 0,
+            report: None,
+            preexisting: false,
+            error: None,
+            wall_ms: None,
+        };
+
+        if runner.report_path().exists() {
+            let text = std::fs::read_to_string(runner.report_path())?;
+            let report = SessionReport::from_json(text.trim())
+                .map_err(|e| SessionError::Corrupt(format!("report.json: {e}")))?;
+            if report.job_id != runner.job.id {
+                return Err(SessionError::Corrupt(format!(
+                    "report.json belongs to job {:?}, expected {:?}",
+                    report.job_id, runner.job.id
+                )));
+            }
+            runner.report = Some(report);
+            runner.preexisting = true;
+            return Ok(runner);
+        }
+
+        let trace = std::fs::OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(runner.trace_path())?;
+        if runner.meta_path().exists() {
+            let text = std::fs::read_to_string(runner.meta_path())?;
+            let meta: SessionMeta = serde_json::from_str(text.trim())
+                .map_err(|e| SessionError::Corrupt(format!("session.json: {e}")))?;
+            if meta.version != META_VERSION {
+                return Err(SessionError::Corrupt(format!(
+                    "session.json version {} (this build writes {META_VERSION})",
+                    meta.version
+                )));
+            }
+            if meta.job_id != runner.job.id {
+                return Err(SessionError::Corrupt(format!(
+                    "session.json belongs to job {:?}, expected {:?}",
+                    meta.job_id, runner.job.id
+                )));
+            }
+            let on_disk = trace.metadata()?.len();
+            if on_disk < meta.trace_len {
+                return Err(SessionError::Corrupt(format!(
+                    "trace.jsonl is {on_disk} bytes but session.json recorded {}",
+                    meta.trace_len
+                )));
+            }
+            // Drop any bytes a torn slice appended after the last durable
+            // meta write; the re-run slice re-appends them identically.
+            trace.set_len(meta.trace_len)?;
+            trace.sync_all()?;
+            runner.trace_len = meta.trace_len;
+            runner.checkpoint = Some(meta.checkpoint);
+        } else {
+            // Fresh session (or a crash before the first meta write):
+            // the trace restarts from byte zero.
+            trace.set_len(0)?;
+            trace.sync_all()?;
+        }
+        Ok(runner)
+    }
+
+    /// The job this session runs.
+    pub fn job(&self) -> &JobSpec {
+        &self.job
+    }
+
+    /// Session directory (`tenants/<tenant>/<job-id>/`).
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Still has work to do (no report, no error)?
+    pub fn is_active(&self) -> bool {
+        self.report.is_none() && self.error.is_none()
+    }
+
+    /// The durable report, once the session finished.
+    pub fn report(&self) -> Option<&SessionReport> {
+        self.report.as_ref()
+    }
+
+    /// Did this daemon run finish the session (vs. a previous one)?
+    pub fn completed_this_run(&self) -> bool {
+        self.report.is_some() && !self.preexisting
+    }
+
+    /// Completion latency recorded by the daemon, if it finished this run.
+    pub fn wall_ms(&self) -> Option<f64> {
+        self.wall_ms
+    }
+
+    /// Take the first error this session hit, if any.
+    pub fn take_error(&mut self) -> Option<SessionError> {
+        self.error.take()
+    }
+
+    /// The session's cost so far: the report's total when finished, else
+    /// the last checkpoint's snapshot, else zero. Deterministic — this is
+    /// the quantity tenant budgets sum at round barriers.
+    pub fn cost(&self) -> CostSnapshot {
+        if let Some(r) = &self.report {
+            return r.cost;
+        }
+        if let Some(ck) = &self.checkpoint {
+            return ck.cost;
+        }
+        CostSnapshot {
+            fitness_evals: 0,
+            simulated_ms: 0,
+            critical_path_ms: 0,
+        }
+    }
+
+    /// Run one slice of at most `slice_iterations` update cycles. Errors
+    /// are latched into the runner (this is called inside a parallel
+    /// region); the daemon surfaces them at the next barrier.
+    pub fn run_slice(&mut self, slice_iterations: usize) {
+        if !self.is_active() {
+            return;
+        }
+        if let Err(e) = self.try_slice(slice_iterations.max(1)) {
+            self.error = Some(e);
+        }
+    }
+
+    fn try_slice(&mut self, slice: usize) -> Result<(), SessionError> {
+        let arms = effective_arms(self.data.pool.len(), &self.config);
+        match self.job.algorithm {
+            VariantChoice::Standard => {
+                self.drive(StandardMwu::new(arms, StandardConfig::default()), slice)
+            }
+            VariantChoice::Slate => self.drive(SlateMwu::new(arms, SlateConfig::default()), slice),
+            VariantChoice::Distributed => {
+                let alg = DistributedMwu::try_new(arms, DistributedConfig::default())
+                    .map_err(|e| SessionError::Intractable(e.to_string()))?;
+                self.drive(alg, slice)
+            }
+        }
+    }
+
+    fn drive<A>(&mut self, mut alg: A, slice: usize) -> Result<(), SessionError>
+    where
+        A: MwuAlgorithm + Serialize + Deserialize,
+    {
+        // Fresh per-slice ledger; repair_resumable restores it from the
+        // checkpoint when resuming, so totals stay absolute.
+        let ledger = CostLedger::new();
+        let mut sink = SuppressRunStart {
+            inner: JsonlSink::new(Vec::new()),
+            suppress: self.checkpoint.is_some(),
+        };
+        let control = SessionControl {
+            checkpoint: None,
+            halt_after_iterations: Some(slice),
+        };
+        let result = repair_resumable(
+            &self.data.scenario,
+            &self.data.pool,
+            &mut alg,
+            &self.config,
+            Some(&ledger),
+            &mut sink,
+            &control,
+            self.checkpoint.as_ref(),
+        )?;
+        self.append_trace(&sink.inner.into_inner())?;
+        match result {
+            SessionResult::Halted { checkpoint } => {
+                let meta = SessionMeta {
+                    version: META_VERSION,
+                    job_id: self.job.id.clone(),
+                    trace_len: self.trace_len,
+                    checkpoint: *checkpoint,
+                };
+                let mut doc = serde_json::to_string(&meta).expect("meta serializes");
+                doc.push('\n');
+                write_atomic(&self.meta_path(), doc.as_bytes())?;
+                self.checkpoint = Some(meta.checkpoint);
+            }
+            SessionResult::Complete(outcome) => {
+                let report = SessionReport::completed(&self.job, outcome);
+                let mut doc = report.to_json();
+                doc.push('\n');
+                write_atomic(&self.report_path(), doc.as_bytes())?;
+                // The checkpoint is spent; its absence (with a report
+                // present) is unambiguous on reload.
+                let _ = std::fs::remove_file(self.meta_path());
+                self.report = Some(report);
+            }
+        }
+        Ok(())
+    }
+
+    /// Finish the session as budget-exhausted: write the durable report
+    /// from the last checkpoint, which stays on disk so the session can be
+    /// resumed after a budget raise (delete `report.json` to re-arm it).
+    pub fn finish_budget_exhausted(&mut self) -> Result<(), SessionError> {
+        if self.report.is_some() {
+            return Ok(());
+        }
+        let ck = self.checkpoint.as_ref().ok_or_else(|| {
+            SessionError::Corrupt("budget halt before any slice completed".into())
+        })?;
+        let report = SessionReport::budget_exhausted(&self.job, ck);
+        let mut doc = report.to_json();
+        doc.push('\n');
+        write_atomic(&self.report_path(), doc.as_bytes())?;
+        self.report = Some(report);
+        Ok(())
+    }
+
+    /// Path of the session's JSONL trace.
+    pub fn trace_path(&self) -> PathBuf {
+        self.dir.join("trace.jsonl")
+    }
+
+    /// Path of the session's durable report.
+    pub fn report_path(&self) -> PathBuf {
+        self.dir.join("report.json")
+    }
+
+    fn meta_path(&self) -> PathBuf {
+        self.dir.join("session.json")
+    }
+
+    fn append_trace(&mut self, bytes: &[u8]) -> Result<(), SessionError> {
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(self.trace_path())?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        self.trace_len += bytes.len() as u64;
+        Ok(())
+    }
+}
+
+/// Per-slice observer: forwards everything to the inner sink except the
+/// `RunStart` the driver re-emits at every resumed `repair_resumable`
+/// call, so the concatenated slice traces equal one uninterrupted trace.
+struct SuppressRunStart<O> {
+    inner: O,
+    suppress: bool,
+}
+
+impl<O: Observer> Observer for SuppressRunStart<O> {
+    fn enabled(&self) -> bool {
+        self.inner.enabled()
+    }
+
+    fn on_event(&mut self, event: &TraceEvent) {
+        self.inner.on_event(event);
+    }
+
+    fn on_run_start(&mut self, e: RunStartEvent) {
+        if !self.suppress {
+            self.inner.on_run_start(e);
+        }
+    }
+}
+
+/// Write `contents` to `path` atomically and durably: tmp file, fsync,
+/// rename, fsync the parent directory (same discipline as
+/// `mwrepair::Checkpoint::save_atomic`).
+pub(crate) fn write_atomic(path: &Path, contents: &[u8]) -> std::io::Result<()> {
+    let mut tmp_os = path.as_os_str().to_owned();
+    tmp_os.push(".tmp");
+    let tmp = PathBuf::from(tmp_os);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(contents)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    sync_parent_dir(path)
+}
+
+#[cfg(unix)]
+fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    std::fs::File::open(parent)?.sync_all()
+}
+
+#[cfg(not(unix))]
+fn sync_parent_dir(_path: &Path) -> std::io::Result<()> {
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::ScenarioSpec;
+
+    fn test_job(id: &str) -> JobSpec {
+        JobSpec {
+            id: id.into(),
+            tenant: "t0".into(),
+            scenario: ScenarioSpec::Synthetic {
+                name: "session-test".into(),
+                options: 24,
+                x_star: 6,
+                statements: 200,
+                tests: 10,
+                repair_rate: 0.0,
+                world_seed: 5,
+                pool_size: None,
+            },
+            algorithm: VariantChoice::Standard,
+            seed: 11,
+            max_iterations: 9,
+        }
+    }
+
+    fn data_for(job: &JobSpec) -> Arc<ScenarioData> {
+        let scenario = match &job.scenario {
+            ScenarioSpec::Synthetic { .. } | ScenarioSpec::Catalog { .. } => {
+                job.scenario.build().unwrap()
+            }
+        };
+        let pool = scenario.build_pool(1, None);
+        Arc::new(ScenarioData { scenario, pool })
+    }
+
+    fn tmp_workdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mwrd-session-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn run_to_completion(workdir: &Path, job: &JobSpec, slice: usize) -> (Vec<u8>, String) {
+        let data = data_for(job);
+        let mut s = SessionRunner::open(job.clone(), data, workdir).unwrap();
+        for _ in 0..1000 {
+            if !s.is_active() {
+                break;
+            }
+            s.run_slice(slice);
+            if let Some(e) = s.take_error() {
+                panic!("slice error: {e}");
+            }
+        }
+        assert!(s.report().is_some(), "session did not finish");
+        let trace = std::fs::read(s.trace_path()).unwrap();
+        let report = std::fs::read_to_string(s.report_path()).unwrap();
+        (trace, report)
+    }
+
+    #[test]
+    fn sliced_trace_matches_uninterrupted_repair_observed() {
+        let job = test_job("slice-eq");
+        let data = data_for(&job);
+        // Uninterrupted library-level run with a plain JSONL sink.
+        let mut config = MwRepairConfig::seeded(job.seed);
+        config.max_iterations = job.max_iterations;
+        let arms = effective_arms(data.pool.len(), &config);
+        let mut alg = StandardMwu::new(arms, StandardConfig::default());
+        let mut sink = JsonlSink::new(Vec::new());
+        mwrepair::repair_observed(
+            &data.scenario,
+            &data.pool,
+            &mut alg,
+            &config,
+            None,
+            &mut sink,
+        );
+        let reference = sink.into_inner();
+
+        let workdir = tmp_workdir("slice-eq");
+        let (trace, _) = run_to_completion(&workdir, &job, 2);
+        assert_eq!(
+            trace, reference,
+            "sliced daemon trace differs from the uninterrupted library trace"
+        );
+        std::fs::remove_dir_all(&workdir).unwrap();
+    }
+
+    #[test]
+    fn slice_size_does_not_change_trace_bytes() {
+        let job = test_job("slice-size");
+        let wa = tmp_workdir("slice-a");
+        let wb = tmp_workdir("slice-b");
+        let (ta, ra) = run_to_completion(&wa, &job, 2);
+        let (tb, rb) = run_to_completion(&wb, &job, 7);
+        assert_eq!(ta, tb);
+        assert_eq!(ra, rb);
+        std::fs::remove_dir_all(&wa).unwrap();
+        std::fs::remove_dir_all(&wb).unwrap();
+    }
+
+    #[test]
+    fn reopen_mid_flight_resumes_byte_identically() {
+        let job = test_job("reopen");
+        let reference_dir = tmp_workdir("reopen-ref");
+        let (reference_trace, reference_report) = run_to_completion(&reference_dir, &job, 3);
+
+        let workdir = tmp_workdir("reopen");
+        let data = data_for(&job);
+        // Two slices, then drop the runner (simulated daemon death).
+        {
+            let mut s = SessionRunner::open(job.clone(), Arc::clone(&data), &workdir).unwrap();
+            s.run_slice(3);
+            s.run_slice(3);
+            assert!(s.is_active());
+        }
+        // Re-open and also simulate a torn post-meta append.
+        {
+            let trace_path = workdir
+                .join("tenants")
+                .join(&job.tenant)
+                .join(&job.id)
+                .join("trace.jsonl");
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&trace_path)
+                .unwrap();
+            f.write_all(b"{\"torn\":").unwrap();
+        }
+        let mut s = SessionRunner::open(job.clone(), data, &workdir).unwrap();
+        while s.is_active() {
+            s.run_slice(3);
+            assert!(s.take_error().is_none());
+        }
+        let trace = std::fs::read(s.trace_path()).unwrap();
+        let report = std::fs::read_to_string(s.report_path()).unwrap();
+        assert_eq!(trace, reference_trace, "resume changed the trace bytes");
+        assert_eq!(report, reference_report);
+        std::fs::remove_dir_all(&workdir).unwrap();
+        std::fs::remove_dir_all(&reference_dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_after_completion_is_terminal() {
+        let job = test_job("done");
+        let workdir = tmp_workdir("done");
+        let (_, report) = run_to_completion(&workdir, &job, 4);
+        let data = data_for(&job);
+        let s = SessionRunner::open(job.clone(), data, &workdir).unwrap();
+        assert!(!s.is_active());
+        assert!(!s.completed_this_run());
+        assert_eq!(s.report().unwrap().to_json() + "\n", report);
+        std::fs::remove_dir_all(&workdir).unwrap();
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_cleans_tmp() {
+        let dir = tmp_workdir("atomic");
+        let p = dir.join("doc.json");
+        write_atomic(&p, b"one").unwrap();
+        write_atomic(&p, b"two").unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), b"two");
+        assert!(!dir.join("doc.json.tmp").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

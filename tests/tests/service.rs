@@ -1,0 +1,436 @@
+//! Integration: the `mwrepaird` determinism contract (docs/SERVICE.md).
+//!
+//! A session's JSONL trace and final report are a pure function of its
+//! `JobSpec` and the daemon's slice length. These tests pin the contract
+//! byte-for-byte in every configuration the service promises:
+//!
+//! * solo vs. surrounded by 100+ other tenants' sessions, at 1/4/8
+//!   threads (`solo_vs_concurrent_*`);
+//! * across cooperative kills and checkpoint resumes under load, torn
+//!   trace writes included (`kill_resume_under_load_*`);
+//! * under tenant budget exhaustion — the halted tenant gets a
+//!   `BudgetExhausted` report with a resumable checkpoint, and every other
+//!   tenant's bytes are untouched (`budget_exhaustion_*`);
+//!
+//! plus property tests that the JSONL job protocol round-trips and that
+//! no input — malformed, truncated, or arbitrary byte noise — can panic
+//! the parser.
+
+use mwrepair::VariantChoice;
+use mwrepair_service::{
+    encode_line, parse_jobs, parse_line, BudgetSpec, Daemon, DaemonConfig, DaemonSummary, JobLine,
+    JobSpec, ProtocolError, ScenarioSpec,
+};
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+
+/// All tests sweep `rayon::with_max_threads(1..=8)`, so the shared pool
+/// must be sized once at the largest count (the container may report a
+/// single CPU). Only the first call can win; later calls are no-ops.
+fn ensure_pool() {
+    rayon::set_num_threads(8);
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mwrd-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn scenario(world_seed: u64) -> ScenarioSpec {
+    ScenarioSpec::Synthetic {
+        name: format!("svc-it-{world_seed}"),
+        options: 20,
+        x_star: 5,
+        statements: 180,
+        tests: 9,
+        repair_rate: 0.0,
+        world_seed,
+        pool_size: Some(20),
+    }
+}
+
+fn job(id: &str, tenant: &str, seed: u64) -> JobSpec {
+    JobSpec {
+        id: id.into(),
+        tenant: tenant.into(),
+        scenario: scenario(3),
+        algorithm: VariantChoice::Standard,
+        seed,
+        max_iterations: 12,
+    }
+}
+
+fn batch(jobs: &[JobSpec], budgets: &[BudgetSpec]) -> Vec<u8> {
+    let mut doc = String::new();
+    for b in budgets {
+        doc.push_str(&encode_line(&JobLine::Budget(b.clone())));
+        doc.push('\n');
+    }
+    for j in jobs {
+        doc.push_str(&encode_line(&JobLine::Job(j.clone())));
+        doc.push('\n');
+    }
+    doc.into_bytes()
+}
+
+/// Open a daemon over `workdir`, submit `bytes`, and run it capped at
+/// `threads` workers.
+fn run_daemon(
+    workdir: &Path,
+    bytes: &[u8],
+    slice: usize,
+    halt_after_rounds: Option<u64>,
+    threads: usize,
+) -> DaemonSummary {
+    let mut config = DaemonConfig::new(workdir);
+    config.slice_iterations = slice;
+    config.halt_after_rounds = halt_after_rounds;
+    config.quiet = true;
+    let mut daemon = Daemon::open(config).expect("open daemon");
+    daemon.submit_bytes(bytes).expect("submit batch");
+    rayon::with_max_threads(threads, || daemon.run()).expect("daemon run")
+}
+
+/// Resume a daemon purely from its spool (no resubmission).
+fn resume_daemon(
+    workdir: &Path,
+    slice: usize,
+    halt_after_rounds: Option<u64>,
+    threads: usize,
+) -> DaemonSummary {
+    let mut config = DaemonConfig::new(workdir);
+    config.slice_iterations = slice;
+    config.halt_after_rounds = halt_after_rounds;
+    config.quiet = true;
+    let mut daemon = Daemon::open(config).expect("reopen daemon");
+    rayon::with_max_threads(threads, || daemon.run()).expect("daemon run")
+}
+
+fn session_bytes(workdir: &Path, tenant: &str, id: &str) -> (Vec<u8>, Vec<u8>) {
+    let dir = workdir.join("tenants").join(tenant).join(id);
+    let trace = std::fs::read(dir.join("trace.jsonl")).expect("trace.jsonl");
+    let report = std::fs::read(dir.join("report.json")).expect("report.json");
+    (trace, report)
+}
+
+// ---------------------------------------------------------------------------
+// Determinism contract: solo vs. 100+ concurrent tenants, across threads.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn solo_vs_concurrent_tenants_across_thread_counts() {
+    ensure_pool();
+    const SLICE: usize = 4;
+    let target = job("target-job", "target-tenant", 42);
+
+    // Reference: the target session alone in its own work directory.
+    let solo_dir = tmp_dir("solo");
+    run_daemon(
+        &solo_dir,
+        &batch(std::slice::from_ref(&target), &[]),
+        SLICE,
+        None,
+        8,
+    );
+    let reference = session_bytes(&solo_dir, "target-tenant", "target-job");
+    std::fs::remove_dir_all(&solo_dir).unwrap();
+
+    // Crowd: the same job surrounded by 104 other tenants' sessions with
+    // a mix of variants, seeds, and iteration caps.
+    let mut jobs = vec![target];
+    for i in 0..104u64 {
+        let mut j = job(
+            &format!("bg-job-{i:03}"),
+            &format!("bg-tenant-{i:03}"),
+            1000 + i,
+        );
+        j.algorithm = if i % 3 == 0 {
+            VariantChoice::Slate
+        } else {
+            VariantChoice::Standard
+        };
+        j.max_iterations = 6 + (i as usize % 13);
+        jobs.push(j);
+    }
+    let crowd = batch(&jobs, &[]);
+
+    for threads in [1usize, 4, 8] {
+        let dir = tmp_dir(&format!("crowd-{threads}"));
+        let summary = run_daemon(&dir, &crowd, SLICE, None, threads);
+        assert_eq!(summary.sessions, 105);
+        assert_eq!(summary.completed, 105);
+        let got = session_bytes(&dir, "target-tenant", "target-job");
+        assert_eq!(
+            got, reference,
+            "target session bytes changed with 104 concurrent tenants at {threads} threads"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kill / resume under load.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn kill_resume_under_load_is_byte_identical() {
+    ensure_pool();
+    const SLICE: usize = 3;
+    let jobs: Vec<JobSpec> = (0..24u64)
+        .map(|i| {
+            let mut j = job(
+                &format!("kr-job-{i:02}"),
+                &format!("kr-t{:02}", i % 6),
+                7 + i,
+            );
+            j.max_iterations = 10 + (i as usize % 7);
+            j
+        })
+        .collect();
+    let bytes = batch(&jobs, &[]);
+
+    // Uninterrupted reference run.
+    let ref_dir = tmp_dir("kr-ref");
+    let summary = run_daemon(&ref_dir, &bytes, SLICE, None, 8);
+    assert_eq!(summary.completed, 24);
+
+    // Interrupted run: cooperative halt after one round (all 24 sessions
+    // mid-flight), resume, halt again, then run to completion — each
+    // resume from a fresh daemon over the spooled work directory.
+    let dir = tmp_dir("kr");
+    let s1 = run_daemon(&dir, &bytes, SLICE, Some(1), 8);
+    assert_eq!(s1.rounds, 1);
+    assert_eq!(s1.halted_active, 24, "all sessions must be mid-flight");
+    let s2 = resume_daemon(&dir, SLICE, Some(1), 4);
+    assert_eq!(s2.rounds, 1);
+    assert!(s2.halted_active > 0);
+
+    // Torn write: a crash mid-append leaves bytes past the durable
+    // checkpoint; re-open must truncate and re-produce them identically.
+    {
+        use std::io::Write;
+        let victim = dir.join("tenants").join("kr-t00").join("kr-job-00");
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(victim.join("trace.jsonl"))
+            .unwrap();
+        f.write_all(b"{\"Iteration\":{\"iterati").unwrap();
+    }
+
+    let s3 = resume_daemon(&dir, SLICE, None, 8);
+    assert_eq!(s3.completed, 24);
+
+    for j in &jobs {
+        let a = session_bytes(&ref_dir, &j.tenant, &j.id);
+        let b = session_bytes(&dir, &j.tenant, &j.id);
+        assert_eq!(a, b, "kill/resume changed bytes of {}", j.id);
+    }
+    std::fs::remove_dir_all(&ref_dir).unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Budget exhaustion.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn budget_exhaustion_halts_tenant_and_leaves_others_untouched() {
+    ensure_pool();
+    const SLICE: usize = 4;
+    let bob_jobs: Vec<JobSpec> = (0..2u64)
+        .map(|i| {
+            let mut j = job(&format!("bob-job-{i}"), "bob", 100 + i);
+            j.max_iterations = 40;
+            j
+        })
+        .collect();
+    let carol_jobs: Vec<JobSpec> = (0..2u64)
+        .map(|i| job(&format!("carol-job-{i}"), "carol", 200 + i))
+        .collect();
+    let budget = BudgetSpec {
+        tenant: "bob".into(),
+        // One slice of one 20-arm session costs 80 evals; two sessions
+        // blow through this on the first round barrier.
+        max_evals: Some(100),
+        max_ms: None,
+    };
+
+    let mut all = bob_jobs.clone();
+    all.extend(carol_jobs.iter().cloned());
+    let dir = tmp_dir("budget");
+    let summary = run_daemon(&dir, &batch(&all, &[budget]), SLICE, None, 8);
+    assert_eq!(summary.budget_exhausted, 2);
+    assert_eq!(summary.completed, 2);
+
+    for j in &bob_jobs {
+        let session_dir = dir.join("tenants").join("bob").join(&j.id);
+        let report: serde_json::Value = serde_json::from_str(
+            &std::fs::read_to_string(session_dir.join("report.json")).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(
+            report.field("status").as_str(),
+            Some("BudgetExhausted"),
+            "bob's sessions must report BudgetExhausted"
+        );
+        assert!(
+            session_dir.join("session.json").exists(),
+            "exhausted sessions keep their checkpoint"
+        );
+    }
+
+    // Carol's bytes must match a run where bob never existed.
+    let carol_only = tmp_dir("budget-carol");
+    run_daemon(&carol_only, &batch(&carol_jobs, &[]), SLICE, None, 8);
+    for j in &carol_jobs {
+        let a = session_bytes(&dir, "carol", &j.id);
+        let b = session_bytes(&carol_only, "carol", &j.id);
+        assert_eq!(
+            a, b,
+            "bob's exhaustion leaked into carol's session {}",
+            j.id
+        );
+    }
+    std::fs::remove_dir_all(&carol_only).unwrap();
+
+    // Re-arm (documented in docs/SERVICE.md): lift the budget from the
+    // spool and delete the reports; the retained checkpoints resume and
+    // the sessions run to completion.
+    std::fs::write(dir.join("jobs.jsonl"), batch(&all, &[])).unwrap();
+    for j in &bob_jobs {
+        std::fs::remove_file(
+            dir.join("tenants")
+                .join("bob")
+                .join(&j.id)
+                .join("report.json"),
+        )
+        .unwrap();
+    }
+    let resumed = resume_daemon(&dir, SLICE, None, 8);
+    // Summary status counts cover all four sessions (carol's two were
+    // already done); only bob's two finished during this run.
+    assert_eq!(resumed.completed, 4, "re-armed sessions must complete");
+    assert_eq!(resumed.budget_exhausted, 0);
+    assert_eq!(resumed.session_wall_ms.len(), 2);
+    for j in &bob_jobs {
+        let (_, report) = session_bytes(&dir, "bob", &j.id);
+        let report: serde_json::Value =
+            serde_json::from_str(std::str::from_utf8(&report).unwrap().trim()).unwrap();
+        assert_eq!(report.field("status").as_str(), Some("Completed"));
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Protocol: precise rejections.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn protocol_rejections_carry_line_numbers() {
+    let good = encode_line(&JobLine::Job(job("dup", "t", 1)));
+    let doc = format!("{good}\n\n{good}\n");
+    match parse_jobs(doc.as_bytes()) {
+        Err(ProtocolError::DuplicateId { line, id }) => {
+            assert_eq!(line, 3, "blank lines still count for numbering");
+            assert_eq!(id, "dup");
+        }
+        other => panic!("expected DuplicateId, got {other:?}"),
+    }
+
+    match parse_jobs(b"{\"Job\":{\"id\":\"x\"") {
+        Err(ProtocolError::Malformed { line: 1, .. }) => {}
+        other => panic!("expected Malformed at line 1, got {other:?}"),
+    }
+
+    let deep = format!("{}1{}", "[".repeat(64), "]".repeat(64));
+    match parse_jobs(deep.as_bytes()) {
+        Err(ProtocolError::TooDeep { line: 1 }) => {}
+        other => panic!("expected TooDeep, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Protocol: property tests.
+// ---------------------------------------------------------------------------
+
+fn arbitrary_job(a: u64, b: u64, c: u64) -> JobSpec {
+    let algorithm = match a % 3 {
+        0 => VariantChoice::Standard,
+        1 => VariantChoice::Slate,
+        _ => VariantChoice::Distributed,
+    };
+    JobSpec {
+        id: format!("job-{a:x}"),
+        tenant: format!("T-{:x}.{}", b % 4096, a % 10),
+        scenario: ScenarioSpec::Synthetic {
+            name: format!("scn_{}", c % 97),
+            options: 2 + (a % 300) as usize,
+            x_star: 1 + (b % (2 + a % 300)) as usize,
+            statements: 1 + (c % 5000) as usize,
+            tests: 1 + (a % 40) as usize,
+            repair_rate: (b % 1000) as f64 / 1000.0,
+            world_seed: c,
+            pool_size: if c.is_multiple_of(2) {
+                None
+            } else {
+                Some(1 + (c % 512) as usize)
+            },
+        },
+        algorithm,
+        seed: a ^ b,
+        max_iterations: 1 + (c % 100_000) as usize,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // Encoding any well-formed line and parsing it back yields the same
+    // value — the JSONL protocol round-trips.
+    #[test]
+    fn job_lines_round_trip(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let line = if a % 5 == 0 {
+            JobLine::Budget(BudgetSpec {
+                tenant: format!("t{:x}", b % 65536),
+                max_evals: if b % 3 == 0 { None } else { Some(b) },
+                max_ms: if b % 3 == 1 { None } else { Some(c) },
+            })
+        } else {
+            JobLine::Job(arbitrary_job(a, b, c))
+        };
+        let encoded = encode_line(&line);
+        let decoded = parse_line(&encoded, 1);
+        prop_assert_eq!(decoded.ok(), Some(line));
+    }
+
+    // Arbitrary byte noise never panics the parser — it returns a
+    // precise error (or an empty batch for blank input).
+    #[test]
+    fn arbitrary_bytes_never_panic_parser(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = parse_jobs(&bytes);
+    }
+
+    // Truncating a valid batch at any byte offset never panics; a cut
+    // that lands mid-line is rejected with that line's number.
+    #[test]
+    fn truncated_batches_error_without_panicking(
+        a in any::<u64>(), b in any::<u64>(), cut in any::<usize>(),
+    ) {
+        let full = batch(
+            &[arbitrary_job(a, b, 1), arbitrary_job(a.wrapping_add(1), b, 2)],
+            &[],
+        );
+        let cut = cut % (full.len() + 1);
+        match parse_jobs(&full[..cut]) {
+            Ok(parsed) => {
+                // Only boundary cuts parse, and only to a prefix.
+                prop_assert!(parsed.jobs.len() <= 2);
+            }
+            Err(
+                ProtocolError::Malformed { line, .. } | ProtocolError::Invalid { line, .. },
+            ) => prop_assert!((1..=2).contains(&line)),
+            Err(e) => prop_assert!(false, "unexpected error kind: {e:?}"),
+        }
+    }
+}
