@@ -89,7 +89,8 @@ pub use schedule::LearningRate;
 pub use slate::{SlateConfig, SlateMwu};
 pub use standard::{StandardConfig, StandardMwu};
 pub use trace::{
-    FaultEvent, JsonlSink, MetricsSink, NullObserver, Observer, ProgressSink, Tee, TraceEvent,
+    FaultEvent, JsonlSink, MetricsSink, NullObserver, Observer, ProgressSink, StorageEvent, Tee,
+    TraceEvent,
 };
 pub use weights::WeightVector;
 

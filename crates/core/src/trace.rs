@@ -212,6 +212,22 @@ impl FaultEvent {
     }
 }
 
+/// Storage-health counters from a daemon run (the telemetry-side mirror
+/// of `mwrepair-service`'s retry/quarantine accounting — defined here,
+/// like [`FaultEvent`], because the service crate sits above mwu-core in
+/// the dependency graph; the bridge lives in the composing layer, e.g.
+/// the `mwrepaird` binary). All three are zero in a fault-free run on a
+/// healthy disk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StorageEvent {
+    /// Storage operations retried after a transient failure.
+    pub io_retries: u64,
+    /// Faults injected by a storage-fault adversary (zero on a real disk).
+    pub io_faults_injected: u64,
+    /// Sessions quarantined behind a durable post-mortem.
+    pub sessions_quarantined: u64,
+}
+
 /// Start of one (algorithm, dataset) grid cell.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CellStartEvent {
@@ -276,6 +292,8 @@ pub enum TraceEvent {
     Repair(RepairEvent),
     /// One round's injected faults.
     Faults(FaultEvent),
+    /// One daemon run's storage-health counters.
+    Storage(StorageEvent),
     /// Grid cell header.
     CellStart(CellStartEvent),
     /// Grid replicate footer.
@@ -341,6 +359,11 @@ pub trait Observer {
         self.on_event(&TraceEvent::Faults(e));
     }
 
+    /// One daemon run's storage-health counters (daemon runs only).
+    fn on_storage(&mut self, e: StorageEvent) {
+        self.on_event(&TraceEvent::Storage(e));
+    }
+
     /// A grid cell is starting.
     fn on_cell_start(&mut self, e: CellStartEvent) {
         self.on_event(&TraceEvent::CellStart(e));
@@ -384,6 +407,9 @@ impl<O: Observer + ?Sized> Observer for &mut O {
     }
     fn on_faults(&mut self, e: FaultEvent) {
         (**self).on_faults(e);
+    }
+    fn on_storage(&mut self, e: StorageEvent) {
+        (**self).on_storage(e);
     }
     fn on_cell_start(&mut self, e: CellStartEvent) {
         (**self).on_cell_start(e);
@@ -441,6 +467,11 @@ impl<O: Observer> Observer for Option<O> {
     fn on_faults(&mut self, e: FaultEvent) {
         if let Some(o) = self {
             o.on_faults(e);
+        }
+    }
+    fn on_storage(&mut self, e: StorageEvent) {
+        if let Some(o) = self {
+            o.on_storage(e);
         }
     }
     fn on_cell_start(&mut self, e: CellStartEvent) {
@@ -547,6 +578,14 @@ impl<A: Observer, B: Observer> Observer for Tee<A, B> {
             self.1.on_faults(e);
         }
     }
+    fn on_storage(&mut self, e: StorageEvent) {
+        if self.0.enabled() {
+            self.0.on_storage(e);
+        }
+        if self.1.enabled() {
+            self.1.on_storage(e);
+        }
+    }
     fn on_cell_start(&mut self, e: CellStartEvent) {
         if self.0.enabled() {
             self.0.on_cell_start(e.clone());
@@ -642,6 +681,13 @@ pub struct MetricsSink {
     pub retries: Counter,
     /// Messages abandoned after the retry cap.
     pub retries_exhausted: Counter,
+    /// Storage operations retried after transient failures (daemon runs;
+    /// zero on a healthy disk).
+    pub io_retries: Counter,
+    /// Storage faults injected by a fault adversary (zero on a real disk).
+    pub io_faults_injected: Counter,
+    /// Sessions quarantined behind durable post-mortems.
+    pub sessions_quarantined: Counter,
     /// Per-cycle latency in seconds (sink-clock; empty if the sink never
     /// saw two consecutive iterations).
     pub iteration_latency: Histogram,
@@ -670,6 +716,9 @@ impl MetricsSink {
         self.faults.merge(&other.faults);
         self.retries.merge(&other.retries);
         self.retries_exhausted.merge(&other.retries_exhausted);
+        self.io_retries.merge(&other.io_retries);
+        self.io_faults_injected.merge(&other.io_faults_injected);
+        self.sessions_quarantined.merge(&other.sessions_quarantined);
         self.iteration_latency.merge(&other.iteration_latency);
         self.reward.merge(&other.reward);
         self.congestion.merge(&other.congestion);
@@ -680,6 +729,7 @@ impl MetricsSink {
         format!(
             "runs={} iterations={} convergences={} probes={} repairs={} \
              faults={} retries={} retries_exhausted={} \
+             io_retries={} io_faults_injected={} sessions_quarantined={} \
              reward_mean={:.4} congestion_p99={:.1} latency_p50={:.6}s",
             self.runs.get(),
             self.iterations.get(),
@@ -689,6 +739,9 @@ impl MetricsSink {
             self.faults.get(),
             self.retries.get(),
             self.retries_exhausted.get(),
+            self.io_retries.get(),
+            self.io_faults_injected.get(),
+            self.sessions_quarantined.get(),
             self.reward.stats().mean(),
             self.congestion.quantile(0.99),
             self.iteration_latency.quantile(0.5),
@@ -727,6 +780,12 @@ impl Observer for MetricsSink {
         self.faults.add(e.total());
         self.retries.add(e.retried);
         self.retries_exhausted.add(e.retry_exhausted);
+    }
+
+    fn on_storage(&mut self, e: StorageEvent) {
+        self.io_retries.add(e.io_retries);
+        self.io_faults_injected.add(e.io_faults_injected);
+        self.sessions_quarantined.add(e.sessions_quarantined);
     }
 }
 

@@ -127,6 +127,21 @@ fn main() {
     let pool = scenario.build_pool(args.seed, None);
     let arms = effective_arms(pool.len(), &config);
 
+    // Startup sweep: a crash between save_atomic's tmp write and rename
+    // strands a torn `<path>.tmp`; remove it before resuming (and before
+    // the first save) so it can never shadow the real checkpoint.
+    for p in args.resume.iter().chain(args.checkpoint.iter()) {
+        match Checkpoint::sweep_orphan_tmp(p) {
+            Ok(true) if !args.quiet => {
+                eprintln!("removed orphaned {}.tmp from a crashed save", p.display());
+            }
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("cannot sweep {}.tmp: {e}", p.display());
+                std::process::exit(1);
+            }
+        }
+    }
     let resume = args.resume.as_deref().map(|p| {
         Checkpoint::load(p).unwrap_or_else(|e| {
             eprintln!("cannot resume from {}: {e}", p.display());

@@ -18,15 +18,24 @@
 //! cycles per session per round, default 16), `--halt-after N` (stop after
 //! N rounds, leaving unfinished sessions checkpointed), `--threads N`,
 //! `--quiet`. Exit codes: 2 usage, 1 protocol/session/I-O failure.
+//!
+//! Storage-fault injection (docs/FAULTS.md §5): `--fault-rate R` mounts the
+//! work directory through a [`FaultVfs`] adversary instead of the real
+//! filesystem, `--fault-class eio|mixed|torn|lies` picks the fault mix and
+//! `--fault-seed N` keys the deterministic schedule. Sessions that exhaust
+//! their retries are quarantined, never fatal: the daemon still exits 0 and
+//! reports `sessions_quarantined` in the summary.
 
-use mwrepair_service::{Daemon, DaemonConfig};
+use mwrepair_service::{Daemon, DaemonConfig, FaultVfs, StorageFaultConfig, StorageFaultPlan};
 use std::io::Read;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 fn usage(msg: &str) -> ! {
     eprintln!(
         "{msg}\nusage: mwrepaird --work DIR [--jobs FILE|-] [--slice N] [--halt-after ROUNDS] \
-         [--threads N] [--quiet]"
+         [--threads N] [--quiet] [--fault-rate R] [--fault-class eio|mixed|torn|lies] \
+         [--fault-seed N]"
     );
     std::process::exit(2);
 }
@@ -43,6 +52,9 @@ fn main() {
     let mut halt_after: Option<u64> = None;
     let mut threads: Option<usize> = None;
     let mut quiet = false;
+    let mut fault_rate: f64 = 0.0;
+    let mut fault_class = String::from("mixed");
+    let mut fault_seed: u64 = 0;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut take = |flag: &str| -> String {
@@ -56,6 +68,9 @@ fn main() {
             "--halt-after" => halt_after = Some(parse_num("--halt-after", &take("--halt-after"))),
             "--threads" => threads = Some(parse_num("--threads", &take("--threads"))),
             "--quiet" => quiet = true,
+            "--fault-rate" => fault_rate = parse_num("--fault-rate", &take("--fault-rate")),
+            "--fault-class" => fault_class = take("--fault-class"),
+            "--fault-seed" => fault_seed = parse_num("--fault-seed", &take("--fault-seed")),
             other => usage(&format!("unknown flag {other:?}")),
         }
     }
@@ -68,6 +83,32 @@ fn main() {
     config.slice_iterations = slice.max(1);
     config.halt_after_rounds = halt_after;
     config.quiet = quiet;
+    if !(0.0..=1.0).contains(&fault_rate) {
+        usage(&format!("--fault-rate {fault_rate}: must be in [0, 1]"));
+    }
+    if fault_rate > 0.0 {
+        let faults = match fault_class.as_str() {
+            "eio" => StorageFaultConfig::eio(fault_rate),
+            "mixed" => StorageFaultConfig::mixed(fault_rate),
+            "torn" => StorageFaultConfig::torn(fault_rate),
+            "lies" => StorageFaultConfig::lies(fault_rate),
+            other => usage(&format!(
+                "--fault-class must be eio | mixed | torn | lies (got {other:?})"
+            )),
+        };
+        // Rooted at the work directory: the same seed draws the same
+        // fault schedule no matter where --work points.
+        config.vfs = Arc::new(FaultVfs::rooted(
+            StorageFaultPlan::new(fault_seed, faults),
+            &config.workdir,
+        ));
+        if !quiet {
+            eprintln!(
+                "mwrepaird: injecting {fault_class} storage faults at rate {fault_rate} \
+                 (seed {fault_seed})"
+            );
+        }
+    }
     let mut daemon = Daemon::open(config).unwrap_or_else(|e| {
         eprintln!("mwrepaird: {e}");
         std::process::exit(1);
@@ -98,7 +139,16 @@ fn main() {
         }
     }
     match daemon.run() {
-        Ok(summary) => println!("{}", summary.to_json()),
+        Ok(summary) => {
+            if !quiet && summary.sessions_quarantined > 0 {
+                eprintln!(
+                    "mwrepaird: {} session(s) quarantined; inspect quarantine.json and re-run \
+                     to re-arm",
+                    summary.sessions_quarantined
+                );
+            }
+            println!("{}", summary.to_json());
+        }
         Err(e) => {
             eprintln!("mwrepaird: {e}");
             std::process::exit(1);

@@ -215,6 +215,20 @@ impl Checkpoint {
         let text = std::fs::read_to_string(path)?;
         Checkpoint::from_json(&text)
     }
+
+    /// Startup sweep: remove an orphaned `<path>.tmp` left by a crash
+    /// between [`Checkpoint::save_atomic`]'s tmp write and its rename.
+    /// The tmp file is by definition unvouched-for (possibly torn), so it
+    /// must never shadow — or be mistaken for — the real checkpoint.
+    /// Returns whether an orphan was removed.
+    pub fn sweep_orphan_tmp(path: &Path) -> Result<bool, CheckpointError> {
+        let tmp = tmp_path(path);
+        match std::fs::remove_file(&tmp) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(CheckpointError::Io(e)),
+        }
+    }
 }
 
 fn tmp_path(path: &Path) -> std::path::PathBuf {
@@ -383,6 +397,35 @@ mod tests {
         ck.save_atomic(&path).unwrap();
         assert!(!tmp_path(&path).exists());
         assert_eq!(Checkpoint::load(&path).unwrap(), ck);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn poisoned_tmp_never_shadows_or_corrupts_a_resume() {
+        let dir = std::env::temp_dir().join(format!("mwr-ckpt-sweep-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ckpt");
+        let ck = sample_checkpoint();
+        ck.save_atomic(&path).unwrap();
+
+        // A crash mid-save strands a torn tmp beside the good checkpoint.
+        let json = ck.to_json();
+        std::fs::write(tmp_path(&path), &json.as_bytes()[..json.len() / 3]).unwrap();
+
+        assert!(
+            Checkpoint::sweep_orphan_tmp(&path).unwrap(),
+            "orphan missed"
+        );
+        assert!(!tmp_path(&path).exists());
+        assert_eq!(Checkpoint::load(&path).unwrap(), ck, "resume corrupted");
+
+        // Sweeping again is a no-op, and a fresh save still round-trips.
+        assert!(!Checkpoint::sweep_orphan_tmp(&path).unwrap());
+        let mut ck2 = ck.clone();
+        ck2.iteration += 1;
+        ck2.save_atomic(&path).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap(), ck2);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

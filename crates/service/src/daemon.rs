@@ -9,8 +9,8 @@
 //! the canonical spool (so a later daemon can reload the exact job set)
 //! and then drives all sessions in rounds: each round runs one iteration
 //! slice of every active session across the rayon pool, then — at the
-//! round barrier — surfaces session errors, applies tenant budgets, and
-//! records completion latencies.
+//! round barrier — quarantines failed sessions, applies tenant budgets,
+//! and records completion latencies.
 //!
 //! Scheduling is deterministic by construction: sessions share nothing
 //! mutable (each has its own ledger, checkpoint, and trace file; cached
@@ -18,11 +18,26 @@
 //! barriers over commutative sums of the owning tenant's own session
 //! costs. Thread count, session interleaving, and cooperative halts
 //! therefore cannot change any session's trace or report bytes.
+//!
+//! ## Graceful degradation
+//!
+//! All storage flows through [`DaemonConfig::vfs`]; transient I/O
+//! failures retry with bounded exponential backoff inside each session.
+//! A session whose failure survives every retry — or that panics inside
+//! the parallel shard (caught per-session via `catch_unwind`) — is
+//! **quarantined** at the next round barrier: deactivated behind a
+//! durable `quarantine.json` post-mortem with its checkpoint retained,
+//! while every other session keeps running and keeps its fault-free
+//! bytes. [`Daemon::run`] itself only errors on spool-level persistent
+//! failures; it never panics or aborts on a per-session fault.
 
 use crate::protocol::{parse_jobs, BudgetSpec, JobLine, JobSpec, ProtocolError};
-use crate::session::{write_atomic, ScenarioData, SessionError, SessionRunner, SessionStatus};
+use crate::session::{ScenarioData, SessionError, SessionRunner, SessionStatus};
+use crate::vfs::{with_retries, RealVfs, StorageFailure, StorageOp, Vfs};
+use mwu_core::trace::StorageEvent;
 use rayon::prelude::*;
 use serde::Serialize;
+use simnet::faults::RetryPolicy;
 use std::collections::HashMap;
 use std::fmt;
 use std::path::PathBuf;
@@ -50,21 +65,30 @@ pub struct DaemonConfig {
     pub halt_after_rounds: Option<u64>,
     /// Suppress progress lines on stderr.
     pub quiet: bool,
+    /// The storage layer every byte goes through. [`RealVfs`] in
+    /// production; a [`crate::vfs::FaultVfs`] under test/torture.
+    pub vfs: Arc<dyn Vfs>,
+    /// Retry policy for transient storage failures (bounded exponential
+    /// backoff; exhaustion quarantines the affected session).
+    pub retry: RetryPolicy,
 }
 
 impl DaemonConfig {
-    /// Config with default knobs (slice of 16, no halt, progress on).
+    /// Config with default knobs (slice of 16, no halt, progress on, the
+    /// real filesystem, default retry policy).
     pub fn new(workdir: impl Into<PathBuf>) -> Self {
         DaemonConfig {
             workdir: workdir.into(),
             slice_iterations: 16,
             halt_after_rounds: None,
             quiet: false,
+            vfs: Arc::new(RealVfs),
+            retry: RetryPolicy::default(),
         }
     }
 }
 
-/// Why the daemon refused a batch or aborted a run.
+/// Why the daemon refused a batch or gave up on a run.
 #[derive(Debug)]
 pub enum DaemonError {
     /// A JSONL batch failed to parse or validate.
@@ -77,13 +101,17 @@ pub enum DaemonError {
         /// What went wrong.
         message: String,
     },
-    /// A session failed mid-run.
+    /// A session failed mid-run. (Per-session faults quarantine instead;
+    /// this survives only for callers that drive sessions directly.)
     Session {
         /// The failing session's job id.
         job: String,
         /// The underlying failure.
         error: SessionError,
     },
+    /// A daemon-level (spool / workdir) storage operation failed through
+    /// every retry. Per-session storage failures quarantine instead.
+    Storage(StorageFailure),
     /// Work-directory I/O failure outside any one session.
     Io(std::io::Error),
 }
@@ -94,6 +122,7 @@ impl fmt::Display for DaemonError {
             DaemonError::Protocol(e) => write!(f, "{e}"),
             DaemonError::Rejected { id, message } => write!(f, "rejected {id:?}: {message}"),
             DaemonError::Session { job, error } => write!(f, "session {job:?}: {error}"),
+            DaemonError::Storage(e) => write!(f, "spool storage failure: {e}"),
             DaemonError::Io(e) => write!(f, "work directory I/O error: {e}"),
         }
     }
@@ -110,6 +139,12 @@ impl From<ProtocolError> for DaemonError {
 impl From<std::io::Error> for DaemonError {
     fn from(e: std::io::Error) -> Self {
         DaemonError::Io(e)
+    }
+}
+
+impl From<StorageFailure> for DaemonError {
+    fn from(e: StorageFailure) -> Self {
+        DaemonError::Storage(e)
     }
 }
 
@@ -130,6 +165,14 @@ pub struct DaemonSummary {
     pub budget_exhausted: usize,
     /// Sessions still checkpointed mid-flight (cooperative halt).
     pub halted_active: usize,
+    /// Sessions quarantined this run (durable `quarantine.json`,
+    /// checkpoint retained for re-arm).
+    pub sessions_quarantined: usize,
+    /// Storage retries performed (sessions + spool). Zero in a fault-free
+    /// run on a healthy disk.
+    pub io_retries: u64,
+    /// Faults injected by the configured vfs (zero under [`RealVfs`]).
+    pub io_faults_injected: u64,
     /// Rounds executed by this run.
     pub rounds: u64,
     /// Wall-clock of this run in milliseconds.
@@ -143,6 +186,16 @@ impl DaemonSummary {
     /// Canonical single-line JSON document.
     pub fn to_json(&self) -> String {
         serde_json::to_string(self).expect("summary serializes")
+    }
+
+    /// The run's storage-health counters as a trace event, ready to feed
+    /// an observer (e.g. `MetricsSink::on_storage`).
+    pub fn storage_event(&self) -> StorageEvent {
+        StorageEvent {
+            io_retries: self.io_retries,
+            io_faults_injected: self.io_faults_injected,
+            sessions_quarantined: self.sessions_quarantined as u64,
+        }
     }
 }
 
@@ -158,27 +211,50 @@ pub struct Daemon {
     /// once per distinct spec with a fixed pool seed (part of the
     /// scenario's identity) and shared immutably across sessions.
     scenarios: HashMap<String, Arc<ScenarioData>>,
+    /// Storage retries performed on the spool / workdir (not sessions).
+    spool_retries: u64,
 }
 
 impl Daemon {
     /// Open a daemon over `config.workdir`, creating it if needed and
     /// reloading any spooled job set from a previous run (sessions resume
-    /// from their checkpoints; finished sessions stay finished).
+    /// from their checkpoints; finished sessions stay finished;
+    /// quarantined sessions are re-armed).
     pub fn open(config: DaemonConfig) -> Result<Self, DaemonError> {
-        std::fs::create_dir_all(&config.workdir)?;
-        let spool = config.workdir.join(SPOOL_FILE);
         let mut daemon = Daemon {
             config,
             sessions: Vec::new(),
             index: HashMap::new(),
             budgets: Vec::new(),
             scenarios: HashMap::new(),
+            spool_retries: 0,
         };
-        if spool.exists() {
-            let bytes = std::fs::read(&spool)?;
+        let workdir = daemon.config.workdir.clone();
+        daemon.spooling(StorageOp::CreateDir, workdir.clone(), |vfs, p| {
+            vfs.create_dir_all(p)
+        })?;
+        let spool = workdir.join(SPOOL_FILE);
+        if daemon.config.vfs.exists(&spool) {
+            let bytes = daemon.spooling(StorageOp::Read, spool, |vfs, p| vfs.read(p))?;
             daemon.submit_bytes(&bytes)?;
         }
         Ok(daemon)
+    }
+
+    /// Run a daemon-level (non-session) storage operation under the retry
+    /// policy, counting retries toward the spool tally.
+    fn spooling<T>(
+        &mut self,
+        op: StorageOp,
+        path: PathBuf,
+        mut f: impl FnMut(&dyn Vfs, &std::path::Path) -> std::io::Result<T>,
+    ) -> Result<T, DaemonError> {
+        let vfs = Arc::clone(&self.config.vfs);
+        let policy = self.config.retry;
+        with_retries(&policy, op, &path, &mut self.spool_retries, || {
+            f(vfs.as_ref(), &path)
+        })
+        .map_err(DaemonError::Storage)
     }
 
     /// The daemon's configuration.
@@ -264,7 +340,17 @@ impl Daemon {
                 });
             }
         }
-        SessionRunner::open(job, data, &self.config.workdir).map_err(|error| DaemonError::Session {
+        // open_on only errs on invariants caught before touching disk;
+        // disk-reconciliation failures are latched inside the runner and
+        // quarantined at the first barrier.
+        SessionRunner::open_on(
+            job,
+            data,
+            &self.config.workdir,
+            Arc::clone(&self.config.vfs),
+            self.config.retry,
+        )
+        .map_err(|error| DaemonError::Session {
             job: "<open>".into(),
             error,
         })
@@ -273,7 +359,7 @@ impl Daemon {
     /// Persist the canonical spool (budgets first, then jobs, in
     /// submission order) so a later [`Daemon::open`] reloads this exact
     /// job set.
-    fn write_spool(&self) -> Result<(), DaemonError> {
+    fn write_spool(&mut self) -> Result<(), DaemonError> {
         let mut doc = String::new();
         for b in &self.budgets {
             doc.push_str(&crate::protocol::encode_line(&JobLine::Budget(b.clone())));
@@ -285,19 +371,45 @@ impl Daemon {
             )));
             doc.push('\n');
         }
-        write_atomic(&self.config.workdir.join(SPOOL_FILE), doc.as_bytes())?;
+        let spool = self.config.workdir.join(SPOOL_FILE);
+        self.spooling(StorageOp::AtomicWrite, spool, |vfs, p| {
+            vfs.write_atomic(p, doc.as_bytes())
+        })?;
         Ok(())
     }
 
+    /// Quarantine every session with a latched error. Runs at round
+    /// barriers (and once before the first round, for sessions whose
+    /// disk reconciliation failed at open).
+    fn absorb_failures(&mut self) {
+        let quiet = self.config.quiet;
+        for s in &mut self.sessions {
+            if s.quarantine_if_failed() && !quiet {
+                let q = s.quarantine().expect("just quarantined");
+                eprintln!(
+                    "mwrepaird: quarantined session {:?} ({}: {})",
+                    q.job_id,
+                    q.kind,
+                    q.errors.last().map(String::as_str).unwrap_or("?"),
+                );
+            }
+        }
+    }
+
     /// Drive all sessions to completion (or to `halt_after_rounds`),
-    /// returning the run's accounting. Sessions that fail abort the run
-    /// at the next round barrier; everything already persisted stays
-    /// valid and resumable.
+    /// returning the run's accounting. Per-session faults and panics
+    /// quarantine that one session at the next round barrier; the run
+    /// keeps going for everyone else. The only fatal errors are
+    /// spool-level storage failures — and even then everything already
+    /// persisted stays valid and resumable.
     pub fn run(&mut self) -> Result<DaemonSummary, DaemonError> {
         self.write_spool()?;
         let start = Instant::now();
         let slice = self.config.slice_iterations.max(1);
         let mut rounds: u64 = 0;
+        // Sessions whose open-time disk reconciliation failed are
+        // quarantined up front so they can't spin the round loop.
+        self.absorb_failures();
         loop {
             let active = self.sessions.iter().filter(|s| s.is_active()).count();
             if active == 0 {
@@ -311,20 +423,24 @@ impl Daemon {
             if !self.config.quiet && rounds.is_multiple_of(50) {
                 eprintln!("mwrepaird: round {rounds}, {active} active sessions");
             }
-            self.sessions
-                .par_iter_mut()
-                .for_each(|s| s.run_slice(slice));
-            rounds += 1;
-            // Round barrier: errors first, then budgets, then latency.
-            for s in &mut self.sessions {
-                if let Some(error) = s.take_error() {
-                    return Err(DaemonError::Session {
-                        job: s.job().id.clone(),
-                        error,
-                    });
+            // Each session is unwind-safe here: a panicking slice is
+            // caught before it can poison the pool, latched, and
+            // quarantined at the barrier below. Nothing durable advanced
+            // (persistence is crash-ordered), so the session stays
+            // resumable from its last checkpoint.
+            self.sessions.par_iter_mut().for_each(|s| {
+                let run =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| s.run_slice(slice)));
+                if let Err(payload) = run {
+                    s.latch_panic(payload);
                 }
-            }
-            self.enforce_budgets()?;
+            });
+            rounds += 1;
+            // Round barrier: quarantines first, then budgets (which may
+            // themselves latch write failures), then latency.
+            self.absorb_failures();
+            self.enforce_budgets();
+            self.absorb_failures();
             let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
             for s in &mut self.sessions {
                 if s.completed_this_run() && s.wall_ms.is_none() {
@@ -337,7 +453,13 @@ impl Daemon {
         let mut repaired = 0;
         let mut budget_exhausted = 0;
         let mut session_wall_ms = Vec::new();
+        let mut sessions_quarantined = 0;
+        let mut io_retries = self.spool_retries;
         for s in &self.sessions {
+            io_retries += s.io_retries();
+            if s.quarantine().is_some() {
+                sessions_quarantined += 1;
+            }
             if let Some(r) = s.report() {
                 match r.status {
                     SessionStatus::Completed => {
@@ -361,6 +483,9 @@ impl Daemon {
             repaired,
             budget_exhausted,
             halted_active,
+            sessions_quarantined,
+            io_retries,
+            io_faults_injected: self.config.vfs.injected_faults(),
             rounds,
             wall_ms,
             session_wall_ms,
@@ -370,8 +495,12 @@ impl Daemon {
     /// Apply tenant budgets at a round barrier: sum every tenant session's
     /// deterministic cost snapshot (finished sessions included — budgets
     /// cover the tenant's whole job set) and finish the still-active ones
-    /// as budget-exhausted once the cap is strictly exceeded.
-    fn enforce_budgets(&mut self) -> Result<(), DaemonError> {
+    /// as budget-exhausted once the cap is strictly exceeded. A report
+    /// write the disk refuses is latched and quarantined like any other
+    /// session fault. Quarantined sessions contribute only their last
+    /// durable checkpoint's cost — a slice that failed to persist is
+    /// never charged.
+    fn enforce_budgets(&mut self) {
         for budget in &self.budgets {
             let (mut evals, mut ms) = (0u64, 0u64);
             for s in self
@@ -388,15 +517,12 @@ impl Daemon {
             }
             for s in &mut self.sessions {
                 if s.job().tenant == budget.tenant && s.is_active() {
-                    s.finish_budget_exhausted()
-                        .map_err(|error| DaemonError::Session {
-                            job: s.job().id.clone(),
-                            error,
-                        })?;
+                    if let Err(error) = s.finish_budget_exhausted() {
+                        s.latch(error);
+                    }
                 }
             }
         }
-        Ok(())
     }
 }
 
@@ -459,6 +585,9 @@ mod tests {
             assert_eq!(summary.completed, 2);
             assert_eq!(summary.halted_active, 0);
             assert_eq!(summary.session_wall_ms.len(), 2);
+            assert_eq!(summary.sessions_quarantined, 0);
+            assert_eq!(summary.io_retries, 0, "fault-free run must not retry");
+            assert_eq!(summary.io_faults_injected, 0);
         }
         // Reload from the spool alone: everything is already done.
         let mut d = Daemon::open(quiet_config(&workdir)).unwrap();

@@ -30,6 +30,20 @@
 //!
 //! `tests/tests/service.rs` pins all three properties byte-for-byte;
 //! `docs/SERVICE.md` documents the protocol and the work-directory layout.
+//!
+//! ## Hostile-disk survival
+//!
+//! Every byte the daemon persists flows through the [`vfs`] storage
+//! abstraction. [`vfs::RealVfs`] is the production passthrough;
+//! [`vfs::FaultVfs`] is a deterministic storage adversary (the disk
+//! analogue of `simnet::faults`) injecting EIO, ENOSPC, torn writes,
+//! fsync lies, and slowdowns from a pure keyed hash of
+//! `(seed, path, op, attempt)`. Transient failures retry with bounded
+//! exponential backoff; persistent failures and session panics
+//! **quarantine** the one affected session behind a durable
+//! `quarantine.json` post-mortem while every other session's bytes stay
+//! identical to a fault-free run — certified by the `torture` binary and
+//! `tests/tests/service_faults.rs`, documented in `docs/FAULTS.md`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -37,10 +51,15 @@
 pub mod daemon;
 pub mod protocol;
 pub mod session;
+pub mod vfs;
 
 pub use daemon::{Daemon, DaemonConfig, DaemonError, DaemonSummary};
 pub use protocol::{
     encode_line, parse_jobs, parse_line, BudgetSpec, JobBatch, JobLine, JobSpec, ProtocolError,
     ScenarioSpec, MAX_LINE_BYTES, MAX_NESTING_DEPTH,
 };
-pub use session::{SessionReport, SessionRunner, SessionStatus};
+pub use session::{QuarantineRecord, SessionReport, SessionRunner, SessionStatus};
+pub use vfs::{
+    FaultVfs, RealVfs, StorageFailure, StorageFault, StorageFaultConfig, StorageFaultPlan,
+    StorageOp, Vfs,
+};

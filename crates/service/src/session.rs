@@ -22,8 +22,24 @@
 //! the per-slice observer suppresses it on every slice but the first, so
 //! a sliced (and resumed) trace is byte-identical to an uninterrupted
 //! `repair_observed` trace of the same job.
+//!
+//! ## Hostile disks and quarantine
+//!
+//! Every byte goes through the session's [`Vfs`]. Transient I/O failures
+//! retry with bounded exponential backoff ([`crate::vfs::with_retries`]);
+//! a failure that survives every retry — or a panic caught by the daemon
+//! inside the parallel shard — **quarantines** the session: the error is
+//! latched, the daemon calls [`SessionRunner::quarantine_if_failed`] at
+//! the next round barrier, and a durable [`QuarantineRecord`] post-mortem
+//! (`quarantine.json`) is written beside the retained checkpoint. The
+//! checkpoint only advances after a durable `session.json` write, so a
+//! failed slice is never charged to the tenant's budget and a re-opened
+//! session resumes from the last durable state to byte-identical
+//! completion. Re-opening a quarantined session under a working disk
+//! clears the post-mortem automatically (re-arm).
 
 use crate::protocol::JobSpec;
+use crate::vfs::{tmp_path, with_retries, RealVfs, StorageOp, Vfs};
 use apr_sim::ledger::CostSnapshot;
 use apr_sim::{BugScenario, CostLedger, MutationPool};
 use mwrepair::{
@@ -36,8 +52,8 @@ use mwu_core::{
     StandardMwu,
 };
 use serde::{Deserialize, Serialize};
+use simnet::faults::RetryPolicy;
 use std::fmt;
-use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -46,6 +62,9 @@ const META_VERSION: u32 = 1;
 
 /// `report.json` schema tag.
 pub const REPORT_SCHEMA: &str = "mwrepaird/v1";
+
+/// `quarantine.json` schema tag.
+pub const QUARANTINE_SCHEMA: &str = "mwrepaird-quarantine/v1";
 
 /// A scenario plus its precomputed mutation pool, shared (immutably) by
 /// every session that references the same [`crate::ScenarioSpec`].
@@ -60,8 +79,12 @@ pub struct ScenarioData {
 /// Why a session could not run or persist.
 #[derive(Debug)]
 pub enum SessionError {
-    /// Filesystem failure.
+    /// Filesystem failure (unretried — raised outside the vfs path).
     Io(std::io::Error),
+    /// A storage operation failed through every retry.
+    Storage(crate::vfs::StorageFailure),
+    /// The session panicked inside the parallel shard.
+    Panicked(String),
     /// Checkpoint capture / restore failure.
     Checkpoint(CheckpointError),
     /// On-disk session state contradicts itself.
@@ -74,6 +97,8 @@ impl fmt::Display for SessionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SessionError::Io(e) => write!(f, "session I/O error: {e}"),
+            SessionError::Storage(e) => write!(f, "session storage failure: {e}"),
+            SessionError::Panicked(m) => write!(f, "session panicked: {m}"),
             SessionError::Checkpoint(e) => write!(f, "session checkpoint error: {e}"),
             SessionError::Corrupt(m) => write!(f, "session state corrupt: {m}"),
             SessionError::Intractable(m) => write!(f, "session intractable: {m}"),
@@ -86,6 +111,12 @@ impl std::error::Error for SessionError {}
 impl From<std::io::Error> for SessionError {
     fn from(e: std::io::Error) -> Self {
         SessionError::Io(e)
+    }
+}
+
+impl From<crate::vfs::StorageFailure> for SessionError {
+    fn from(e: crate::vfs::StorageFailure) -> Self {
+        SessionError::Storage(e)
     }
 }
 
@@ -169,6 +200,50 @@ impl SessionReport {
     }
 }
 
+/// Durable post-mortem of a quarantined session (`quarantine.json`).
+///
+/// Written atomically beside the retained checkpoint when a session is
+/// quarantined; contains no wall-clock fields. A later
+/// [`SessionRunner::open`] under a working disk removes it and resumes
+/// the session from its last durable checkpoint (re-arm).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuarantineRecord {
+    /// Schema tag ([`QUARANTINE_SCHEMA`]).
+    pub schema: String,
+    /// Job id.
+    pub job_id: String,
+    /// Owning tenant.
+    pub tenant: String,
+    /// Failure class: `storage`, `panic`, `io`, `checkpoint`, `corrupt`,
+    /// or `intractable`.
+    pub kind: String,
+    /// The storage operation that failed, for `storage` failures.
+    pub op: Option<String>,
+    /// The path it failed on, for `storage` failures.
+    pub path: Option<String>,
+    /// Attempts made (original + retries; 1 for non-storage failures).
+    pub attempts: u32,
+    /// The error chain, first attempt to last.
+    pub errors: Vec<String>,
+    /// Update cycles in the last checkpoint the session believed durable.
+    pub last_checkpoint_iteration: Option<usize>,
+    /// `trace.jsonl` bytes the last durable `session.json` vouches for —
+    /// exactly where a re-armed resume restarts from.
+    pub last_durable_trace_len: u64,
+}
+
+impl QuarantineRecord {
+    /// Canonical single-line JSON document.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("quarantine record serializes")
+    }
+
+    /// Parse a quarantine document.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| e.to_string())
+    }
+}
+
 /// Durable between-slice state (`session.json`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct SessionMeta {
@@ -186,31 +261,63 @@ pub struct SessionRunner {
     dir: PathBuf,
     data: Arc<ScenarioData>,
     config: MwRepairConfig,
+    vfs: Arc<dyn Vfs>,
+    retry: RetryPolicy,
     checkpoint: Option<Checkpoint>,
     trace_len: u64,
+    /// Trace bytes the last durable `session.json` / `report.json` write
+    /// vouches for (`trace_len` may run ahead when a later write failed).
+    durable_trace_len: u64,
     report: Option<SessionReport>,
     /// Report was already on disk when the session was opened (a previous
     /// daemon run finished it) — excluded from this run's latency stats.
     preexisting: bool,
     error: Option<SessionError>,
+    quarantine: Option<QuarantineRecord>,
+    /// Storage retries performed on this session's behalf.
+    io_retries: u64,
     /// Wall-clock from daemon start to the completion barrier, filled in
     /// by the daemon. Summary-only: never written into the work dir.
     pub(crate) wall_ms: Option<f64>,
 }
 
 impl SessionRunner {
-    /// Open (or re-open) the session rooted at
-    /// `workdir/tenants/<tenant>/<job-id>/`, reconciling any on-disk state
-    /// from a previous daemon run: a report means the session is done; a
-    /// `session.json` resumes from its checkpoint after truncating the
-    /// trace to the recorded length; otherwise the session starts fresh.
+    /// Open (or re-open) the session on the real filesystem with the
+    /// default retry policy. See [`SessionRunner::open_on`].
     pub fn open(
         job: JobSpec,
         data: Arc<ScenarioData>,
         workdir: &Path,
     ) -> Result<Self, SessionError> {
+        Self::open_on(
+            job,
+            data,
+            workdir,
+            Arc::new(RealVfs),
+            RetryPolicy::default(),
+        )
+    }
+
+    /// Open (or re-open) the session rooted at
+    /// `workdir/tenants/<tenant>/<job-id>/` through `vfs`, reconciling any
+    /// on-disk state from a previous daemon run: a report means the
+    /// session is done; a `session.json` resumes from its checkpoint
+    /// after truncating the trace to the recorded length; a
+    /// `quarantine.json` without a report is cleared (re-arm); orphaned
+    /// `*.tmp` staging files from crashed atomic writes are swept.
+    ///
+    /// Always returns `Ok`: reconciliation failures are latched into the
+    /// runner (the disk may be mid-tantrum), so the daemon quarantines
+    /// the one affected session at its first barrier instead of refusing
+    /// the whole batch.
+    pub fn open_on(
+        job: JobSpec,
+        data: Arc<ScenarioData>,
+        workdir: &Path,
+        vfs: Arc<dyn Vfs>,
+        retry: RetryPolicy,
+    ) -> Result<Self, SessionError> {
         let dir = workdir.join("tenants").join(&job.tenant).join(&job.id);
-        std::fs::create_dir_all(&dir)?;
         let mut config = MwRepairConfig::seeded(job.seed);
         config.max_iterations = job.max_iterations;
         let mut runner = SessionRunner {
@@ -218,36 +325,78 @@ impl SessionRunner {
             dir,
             data,
             config,
+            vfs,
+            retry,
             checkpoint: None,
             trace_len: 0,
+            durable_trace_len: 0,
             report: None,
             preexisting: false,
             error: None,
+            quarantine: None,
+            io_retries: 0,
             wall_ms: None,
         };
+        if let Err(e) = runner.reconcile_disk() {
+            runner.error = Some(e);
+        }
+        Ok(runner)
+    }
 
-        if runner.report_path().exists() {
-            let text = std::fs::read_to_string(runner.report_path())?;
-            let report = SessionReport::from_json(text.trim())
-                .map_err(|e| SessionError::Corrupt(format!("report.json: {e}")))?;
-            if report.job_id != runner.job.id {
-                return Err(SessionError::Corrupt(format!(
-                    "report.json belongs to job {:?}, expected {:?}",
-                    report.job_id, runner.job.id
-                )));
+    /// Bring in-memory state in line with whatever a previous run (or
+    /// crash) left on disk.
+    fn reconcile_disk(&mut self) -> Result<(), SessionError> {
+        let dir = self.dir.clone();
+        self.retrying(StorageOp::CreateDir, &dir, |vfs| vfs.create_dir_all(&dir))?;
+
+        // Startup sweep: a crash between "write <doc>.tmp" and "rename"
+        // strands a partial tmp file; remove them so a poisoned tmp can
+        // never shadow (or be mistaken for) the real document.
+        for doc in [self.meta_path(), self.report_path(), self.quarantine_path()] {
+            let tmp = tmp_path(&doc);
+            if self.vfs.exists(&tmp) {
+                self.retrying(StorageOp::Remove, &tmp, |vfs| vfs.remove_file(&tmp))?;
             }
-            runner.report = Some(report);
-            runner.preexisting = true;
-            return Ok(runner);
         }
 
-        let trace = std::fs::OpenOptions::new()
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(runner.trace_path())?;
-        if runner.meta_path().exists() {
-            let text = std::fs::read_to_string(runner.meta_path())?;
+        if self.vfs.exists(&self.report_path()) {
+            let path = self.report_path();
+            let bytes = self.retrying(StorageOp::Read, &path, |vfs| vfs.read(&path))?;
+            let text = String::from_utf8_lossy(&bytes);
+            let report = SessionReport::from_json(text.trim())
+                .map_err(|e| SessionError::Corrupt(format!("report.json: {e}")))?;
+            if report.job_id != self.job.id {
+                return Err(SessionError::Corrupt(format!(
+                    "report.json belongs to job {:?}, expected {:?}",
+                    report.job_id, self.job.id
+                )));
+            }
+            self.report = Some(report);
+            self.preexisting = true;
+            // Heal leftovers a hostile disk blocked the completing run
+            // from removing: the report is terminal, nothing else counts.
+            let stale = self.quarantine_path();
+            if self.vfs.exists(&stale) {
+                self.retrying(StorageOp::Remove, &stale, |vfs| vfs.remove_file(&stale))?;
+            }
+            return Ok(());
+        }
+
+        // A post-mortem without a report: the session was quarantined.
+        // Re-opening is the re-arm — clear it and resume from the
+        // checkpoint as if the hostile disk had never interfered.
+        let quarantine = self.quarantine_path();
+        if self.vfs.exists(&quarantine) {
+            self.retrying(StorageOp::Remove, &quarantine, |vfs| {
+                vfs.remove_file(&quarantine)
+            })?;
+        }
+
+        let trace = self.trace_path();
+        if self.vfs.exists(&self.meta_path()) {
+            let path = self.meta_path();
+            let bytes = self.retrying(StorageOp::Read, &path, |vfs| vfs.read(&path))?;
+            let text = String::from_utf8_lossy(&bytes);
             let meta: SessionMeta = serde_json::from_str(text.trim())
                 .map_err(|e| SessionError::Corrupt(format!("session.json: {e}")))?;
             if meta.version != META_VERSION {
@@ -256,13 +405,13 @@ impl SessionRunner {
                     meta.version
                 )));
             }
-            if meta.job_id != runner.job.id {
+            if meta.job_id != self.job.id {
                 return Err(SessionError::Corrupt(format!(
                     "session.json belongs to job {:?}, expected {:?}",
-                    meta.job_id, runner.job.id
+                    meta.job_id, self.job.id
                 )));
             }
-            let on_disk = trace.metadata()?.len();
+            let on_disk = self.retrying(StorageOp::Len, &trace, |vfs| vfs.file_len(&trace))?;
             if on_disk < meta.trace_len {
                 return Err(SessionError::Corrupt(format!(
                     "trace.jsonl is {on_disk} bytes but session.json recorded {}",
@@ -271,17 +420,35 @@ impl SessionRunner {
             }
             // Drop any bytes a torn slice appended after the last durable
             // meta write; the re-run slice re-appends them identically.
-            trace.set_len(meta.trace_len)?;
-            trace.sync_all()?;
-            runner.trace_len = meta.trace_len;
-            runner.checkpoint = Some(meta.checkpoint);
+            let len = meta.trace_len;
+            self.retrying(StorageOp::Truncate, &trace, |vfs| {
+                vfs.truncate_sync(&trace, len)
+            })?;
+            self.trace_len = meta.trace_len;
+            self.durable_trace_len = meta.trace_len;
+            self.checkpoint = Some(meta.checkpoint);
         } else {
             // Fresh session (or a crash before the first meta write):
             // the trace restarts from byte zero.
-            trace.set_len(0)?;
-            trace.sync_all()?;
+            self.retrying(StorageOp::Truncate, &trace, |vfs| {
+                vfs.truncate_sync(&trace, 0)
+            })?;
         }
-        Ok(runner)
+        Ok(())
+    }
+
+    /// Run `f` against the session's vfs under the retry policy, counting
+    /// retries toward this session's `io_retries`.
+    fn retrying<T>(
+        &mut self,
+        op: StorageOp,
+        path: &Path,
+        mut f: impl FnMut(&dyn Vfs) -> std::io::Result<T>,
+    ) -> Result<T, SessionError> {
+        let vfs = Arc::clone(&self.vfs);
+        let policy = self.retry;
+        with_retries(&policy, op, path, &mut self.io_retries, || f(vfs.as_ref()))
+            .map_err(SessionError::Storage)
     }
 
     /// The job this session runs.
@@ -294,14 +461,24 @@ impl SessionRunner {
         &self.dir
     }
 
-    /// Still has work to do (no report, no error)?
+    /// Still has work to do (no report, no error, not quarantined)?
     pub fn is_active(&self) -> bool {
-        self.report.is_none() && self.error.is_none()
+        self.report.is_none() && self.error.is_none() && self.quarantine.is_none()
     }
 
     /// The durable report, once the session finished.
     pub fn report(&self) -> Option<&SessionReport> {
         self.report.as_ref()
+    }
+
+    /// The quarantine post-mortem, if this session was quarantined.
+    pub fn quarantine(&self) -> Option<&QuarantineRecord> {
+        self.quarantine.as_ref()
+    }
+
+    /// Storage retries performed on this session's behalf.
+    pub fn io_retries(&self) -> u64 {
+        self.io_retries
     }
 
     /// Did this daemon run finish the session (vs. a previous one)?
@@ -319,9 +496,20 @@ impl SessionRunner {
         self.error.take()
     }
 
+    /// Latch an error raised on this session's behalf outside a slice
+    /// (e.g. a budget-report write failure); the next barrier
+    /// quarantines it.
+    pub(crate) fn latch(&mut self, error: SessionError) {
+        if self.error.is_none() {
+            self.error = Some(error);
+        }
+    }
+
     /// The session's cost so far: the report's total when finished, else
     /// the last checkpoint's snapshot, else zero. Deterministic — this is
-    /// the quantity tenant budgets sum at round barriers.
+    /// the quantity tenant budgets sum at round barriers. The checkpoint
+    /// only advances after a durable `session.json` write, so a slice
+    /// that failed to persist is never charged.
     pub fn cost(&self) -> CostSnapshot {
         if let Some(r) = &self.report {
             return r.cost;
@@ -346,6 +534,80 @@ impl SessionRunner {
         if let Err(e) = self.try_slice(slice_iterations.max(1)) {
             self.error = Some(e);
         }
+    }
+
+    /// Latch a panic caught by the daemon's `catch_unwind` around this
+    /// session's slice; the next barrier quarantines it. The runner's
+    /// in-memory state may be mid-slice garbage afterwards, but nothing
+    /// durable advanced (persistence is crash-ordered), so the retained
+    /// checkpoint still resumes byte-identically.
+    pub fn latch_panic(&mut self, payload: Box<dyn std::any::Any + Send>) {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".into());
+        self.error = Some(SessionError::Panicked(message));
+    }
+
+    /// If an error is latched, quarantine the session: build the
+    /// [`QuarantineRecord`], write `quarantine.json` atomically
+    /// (best-effort — the disk that broke the session may refuse the
+    /// post-mortem too; the in-memory record still reaches the summary),
+    /// and deactivate the session while retaining its durable checkpoint.
+    /// Returns `true` if a quarantine happened.
+    pub fn quarantine_if_failed(&mut self) -> bool {
+        let Some(error) = self.error.take() else {
+            return false;
+        };
+        let (kind, op, path, attempts, errors) = match &error {
+            SessionError::Storage(f) => (
+                "storage",
+                Some(f.op.name().to_string()),
+                Some(f.path.clone()),
+                f.attempts,
+                f.errors.clone(),
+            ),
+            SessionError::Panicked(m) => ("panic", None, None, 1, vec![m.clone()]),
+            SessionError::Io(e) => ("io", None, None, 1, vec![e.to_string()]),
+            SessionError::Checkpoint(e) => ("checkpoint", None, None, 1, vec![e.to_string()]),
+            SessionError::Corrupt(m) => ("corrupt", None, None, 1, vec![m.clone()]),
+            SessionError::Intractable(m) => ("intractable", None, None, 1, vec![m.clone()]),
+        };
+        let record = QuarantineRecord {
+            schema: QUARANTINE_SCHEMA.into(),
+            job_id: self.job.id.clone(),
+            tenant: self.job.tenant.clone(),
+            kind: kind.into(),
+            op,
+            path,
+            attempts,
+            errors,
+            last_checkpoint_iteration: self.checkpoint.as_ref().map(|c| c.iteration),
+            last_durable_trace_len: self.durable_trace_len,
+        };
+        let mut doc = record.to_json();
+        doc.push('\n');
+        let target = self.quarantine_path();
+        let vfs = Arc::clone(&self.vfs);
+        let policy = self.retry;
+        // catch_unwind: the same bug that panicked the session may live
+        // in the persistence path itself — a quarantine must never be
+        // able to take the daemon down with it.
+        let mut retries = self.io_retries;
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = with_retries(
+                &policy,
+                StorageOp::AtomicWrite,
+                &target,
+                &mut retries,
+                || vfs.write_atomic(&target, doc.as_bytes()),
+            );
+        }));
+        self.io_retries = retries;
+        self.report = None;
+        self.quarantine = Some(record);
+        true
     }
 
     fn try_slice(&mut self, slice: usize) -> Result<(), SessionError> {
@@ -399,17 +661,31 @@ impl SessionRunner {
                 };
                 let mut doc = serde_json::to_string(&meta).expect("meta serializes");
                 doc.push('\n');
-                write_atomic(&self.meta_path(), doc.as_bytes())?;
+                let path = self.meta_path();
+                self.retrying(StorageOp::AtomicWrite, &path, |vfs| {
+                    vfs.write_atomic(&path, doc.as_bytes())
+                })?;
+                self.durable_trace_len = meta.trace_len;
                 self.checkpoint = Some(meta.checkpoint);
             }
             SessionResult::Complete(outcome) => {
                 let report = SessionReport::completed(&self.job, outcome);
                 let mut doc = report.to_json();
                 doc.push('\n');
-                write_atomic(&self.report_path(), doc.as_bytes())?;
+                let path = self.report_path();
+                self.retrying(StorageOp::AtomicWrite, &path, |vfs| {
+                    vfs.write_atomic(&path, doc.as_bytes())
+                })?;
                 // The checkpoint is spent; its absence (with a report
-                // present) is unambiguous on reload.
-                let _ = std::fs::remove_file(self.meta_path());
+                // present) is unambiguous on reload. The removal goes
+                // through the same retry path so a hostile disk can't
+                // silently leave stale state — exhaustion quarantines,
+                // and the next fault-free open heals the leftovers.
+                let meta = self.meta_path();
+                if self.vfs.exists(&meta) {
+                    self.retrying(StorageOp::Remove, &meta, |vfs| vfs.remove_file(&meta))?;
+                }
+                self.durable_trace_len = self.trace_len;
                 self.report = Some(report);
             }
         }
@@ -429,7 +705,10 @@ impl SessionRunner {
         let report = SessionReport::budget_exhausted(&self.job, ck);
         let mut doc = report.to_json();
         doc.push('\n');
-        write_atomic(&self.report_path(), doc.as_bytes())?;
+        let path = self.report_path();
+        self.retrying(StorageOp::AtomicWrite, &path, |vfs| {
+            vfs.write_atomic(&path, doc.as_bytes())
+        })?;
         self.report = Some(report);
         Ok(())
     }
@@ -444,6 +723,11 @@ impl SessionRunner {
         self.dir.join("report.json")
     }
 
+    /// Path of the session's quarantine post-mortem.
+    pub fn quarantine_path(&self) -> PathBuf {
+        self.dir.join("quarantine.json")
+    }
+
     fn meta_path(&self) -> PathBuf {
         self.dir.join("session.json")
     }
@@ -452,12 +736,20 @@ impl SessionRunner {
         if bytes.is_empty() {
             return Ok(());
         }
-        let mut f = std::fs::OpenOptions::new()
-            .append(true)
-            .create(true)
-            .open(self.trace_path())?;
-        f.write_all(bytes)?;
-        f.sync_all()?;
+        let path = self.trace_path();
+        let expect = self.trace_len;
+        let mut first = true;
+        self.retrying(StorageOp::Append, &path, |vfs| {
+            // A failed attempt may have persisted a torn prefix; restore
+            // the file to the known-good length before re-appending so
+            // every retry writes the identical bytes at the identical
+            // offset.
+            if !first {
+                vfs.truncate_sync(&path, expect)?;
+            }
+            first = false;
+            vfs.append_sync(&path, bytes)
+        })?;
         self.trace_len += bytes.len() as u64;
         Ok(())
     }
@@ -487,40 +779,12 @@ impl<O: Observer> Observer for SuppressRunStart<O> {
     }
 }
 
-/// Write `contents` to `path` atomically and durably: tmp file, fsync,
-/// rename, fsync the parent directory (same discipline as
-/// `mwrepair::Checkpoint::save_atomic`).
-pub(crate) fn write_atomic(path: &Path, contents: &[u8]) -> std::io::Result<()> {
-    let mut tmp_os = path.as_os_str().to_owned();
-    tmp_os.push(".tmp");
-    let tmp = PathBuf::from(tmp_os);
-    {
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(contents)?;
-        f.sync_all()?;
-    }
-    std::fs::rename(&tmp, path)?;
-    sync_parent_dir(path)
-}
-
-#[cfg(unix)]
-fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
-    let parent = match path.parent() {
-        Some(p) if !p.as_os_str().is_empty() => p,
-        _ => Path::new("."),
-    };
-    std::fs::File::open(parent)?.sync_all()
-}
-
-#[cfg(not(unix))]
-fn sync_parent_dir(_path: &Path) -> std::io::Result<()> {
-    Ok(())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::protocol::ScenarioSpec;
+    use crate::vfs::{FaultVfs, StorageFaultConfig, StorageFaultPlan};
+    use std::io::Write;
 
     fn test_job(id: &str) -> JobSpec {
         JobSpec {
@@ -674,13 +938,139 @@ mod tests {
     }
 
     #[test]
-    fn write_atomic_replaces_and_cleans_tmp() {
-        let dir = tmp_workdir("atomic");
-        let p = dir.join("doc.json");
-        write_atomic(&p, b"one").unwrap();
-        write_atomic(&p, b"two").unwrap();
-        assert_eq!(std::fs::read(&p).unwrap(), b"two");
-        assert!(!dir.join("doc.json.tmp").exists());
-        std::fs::remove_dir_all(&dir).unwrap();
+    fn transient_faults_retry_to_byte_identical_completion() {
+        let job = test_job("transient");
+        let clean = tmp_workdir("transient-ref");
+        let (reference_trace, reference_report) = run_to_completion(&clean, &job, 3);
+
+        let workdir = tmp_workdir("transient");
+        let data = data_for(&job);
+        // 30% per-op EIO: with 10 retries allowed every op eventually
+        // lands, and the bytes must not care that it took retries.
+        // Slice of 1 maximizes op count (slice size is byte-invariant),
+        // so the adversary is all but guaranteed to fire.
+        let vfs = Arc::new(FaultVfs::new(StorageFaultPlan::new(
+            41,
+            StorageFaultConfig::eio(0.3),
+        )));
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            base_delay: 1,
+        };
+        let mut s =
+            SessionRunner::open_on(job.clone(), data, &workdir, vfs.clone(), policy).unwrap();
+        while s.is_active() {
+            s.run_slice(1);
+            if let Some(e) = s.take_error() {
+                panic!("retries should have absorbed the faults: {e}");
+            }
+        }
+        assert!(vfs.injected_faults() > 0, "adversary never fired");
+        assert!(s.io_retries() > 0, "no retries recorded");
+        let trace = std::fs::read(s.trace_path()).unwrap();
+        let report = std::fs::read_to_string(s.report_path()).unwrap();
+        assert_eq!(trace, reference_trace);
+        assert_eq!(report, reference_report);
+        std::fs::remove_dir_all(&workdir).unwrap();
+        std::fs::remove_dir_all(&clean).unwrap();
+    }
+
+    #[test]
+    fn quarantine_then_rearm_completes_byte_identically() {
+        let job = test_job("quarantine");
+        let clean = tmp_workdir("quarantine-ref");
+        let (reference_trace, reference_report) = run_to_completion(&clean, &job, 3);
+
+        let workdir = tmp_workdir("quarantine");
+        let data = data_for(&job);
+        // Run two clean slices, then hand the session a disk hostile
+        // enough to exhaust the (tiny) retry budget.
+        {
+            let mut s = SessionRunner::open(job.clone(), Arc::clone(&data), &workdir).unwrap();
+            s.run_slice(3);
+            s.run_slice(3);
+            assert!(s.is_active());
+        }
+        let durable_len;
+        {
+            let vfs = Arc::new(FaultVfs::new(StorageFaultPlan::new(
+                7,
+                StorageFaultConfig::eio(0.95),
+            )));
+            let policy = RetryPolicy {
+                max_attempts: 1,
+                base_delay: 1,
+            };
+            let mut s =
+                SessionRunner::open_on(job.clone(), Arc::clone(&data), &workdir, vfs, policy)
+                    .unwrap();
+            let mut guard = 0;
+            while s.is_active() && guard < 100 {
+                s.run_slice(3);
+                guard += 1;
+            }
+            assert!(s.quarantine_if_failed(), "a 95% adversary must fail it");
+            let record = s.quarantine().unwrap();
+            assert_eq!(record.schema, QUARANTINE_SCHEMA);
+            assert_eq!(record.job_id, job.id);
+            assert!(!record.errors.is_empty(), "post-mortem lost the chain");
+            durable_len = record.last_durable_trace_len;
+            assert!(!s.is_active(), "quarantined session must deactivate");
+        }
+        // Re-arm on a working disk: the post-mortem clears and the
+        // session resumes from its durable checkpoint to the same bytes.
+        let mut s = SessionRunner::open(job.clone(), data, &workdir).unwrap();
+        assert!(s.is_active(), "re-open did not re-arm");
+        while s.is_active() {
+            s.run_slice(3);
+            assert!(s.take_error().is_none());
+        }
+        assert!(
+            !s.quarantine_path().exists(),
+            "quarantine.json survived re-arm"
+        );
+        let trace = std::fs::read(s.trace_path()).unwrap();
+        assert!(durable_len <= trace.len() as u64);
+        let report = std::fs::read_to_string(s.report_path()).unwrap();
+        assert_eq!(trace, reference_trace, "re-armed trace bytes diverged");
+        assert_eq!(report, reference_report);
+        std::fs::remove_dir_all(&workdir).unwrap();
+        std::fs::remove_dir_all(&clean).unwrap();
+    }
+
+    #[test]
+    fn poisoned_tmp_files_never_shadow_a_resume() {
+        let job = test_job("tmp-sweep");
+        let clean = tmp_workdir("tmp-sweep-ref");
+        let (reference_trace, reference_report) = run_to_completion(&clean, &job, 3);
+
+        let workdir = tmp_workdir("tmp-sweep");
+        let data = data_for(&job);
+        {
+            let mut s = SessionRunner::open(job.clone(), Arc::clone(&data), &workdir).unwrap();
+            s.run_slice(3);
+            assert!(s.is_active());
+        }
+        // A crash mid-atomic-write strands partial tmp files; poison all
+        // three staging names with garbage.
+        let dir = workdir.join("tenants").join(&job.tenant).join(&job.id);
+        for name in ["session.json.tmp", "report.json.tmp", "quarantine.json.tmp"] {
+            std::fs::write(dir.join(name), b"{\"version\":9999,\"garbage").unwrap();
+        }
+        let mut s = SessionRunner::open(job.clone(), data, &workdir).unwrap();
+        assert!(s.is_active(), "poisoned tmp derailed the resume");
+        for name in ["session.json.tmp", "report.json.tmp", "quarantine.json.tmp"] {
+            assert!(!dir.join(name).exists(), "{name} survived the sweep");
+        }
+        while s.is_active() {
+            s.run_slice(3);
+            assert!(s.take_error().is_none());
+        }
+        let trace = std::fs::read(s.trace_path()).unwrap();
+        let report = std::fs::read_to_string(s.report_path()).unwrap();
+        assert_eq!(trace, reference_trace);
+        assert_eq!(report, reference_report);
+        std::fs::remove_dir_all(&workdir).unwrap();
+        std::fs::remove_dir_all(&clean).unwrap();
     }
 }

@@ -1,0 +1,969 @@
+//! Storage abstraction and deterministic storage-fault injection.
+//!
+//! Everything the service layer does to disk goes through the [`Vfs`]
+//! trait: coarse, whole-operation primitives (append+fsync, atomic
+//! replace, truncate, read, remove) rather than file handles, so a fault
+//! adversary can interpose on exactly the operations whose failure modes
+//! matter for the durability contract.
+//!
+//! Two implementations:
+//!
+//! * [`RealVfs`] — a passthrough to `std::fs` with the crash-ordering
+//!   discipline the daemon has always used (tmp + fsync + rename +
+//!   parent-dir fsync for atomic replaces, fsync after appends).
+//! * [`FaultVfs`] — a hostile disk driven by a [`StorageFaultPlan`], the
+//!   storage analogue of `simnet::faults::FaultPlan`: every decision is a
+//!   **pure keyed hash** of `(seed, path, op, attempt)`, where `attempt`
+//!   is the per-`(path, op)` call ordinal. Because each session's
+//!   operation sequence on its own files is deterministic, the injected
+//!   fault schedule is too — independent of thread count, scheduling, or
+//!   how many other tenants share the daemon. That is what lets the
+//!   torture harness certify byte-identity of surviving sessions under
+//!   any fault schedule.
+//!
+//! Fault classes (see [`StorageFaultConfig`]):
+//!
+//! * **EIO** — the operation fails with an I/O error and no side effect.
+//!   Transient: the retry's next draw is independent.
+//! * **ENOSPC** — write-class operations fail with "no space"; also
+//!   transient (space "frees up" on a later draw).
+//! * **Torn write** — an append or tmp-file write persists only a prefix
+//!   of the bytes, then fails. Recovery must truncate and re-append.
+//! * **Fsync lie, then crash** — the scariest class: the operation
+//!   *reports success* but the tail of the data never reaches disk, and
+//!   the device then fails persistently (as after a hostile remount).
+//!   Every later operation under the same parent directory returns EIO
+//!   until the fault plan is discarded (a new daemon generation), so the
+//!   lie is always followed by the "crash" that exposes it — exactly the
+//!   only scenario in which a lying fsync is observable.
+//! * **Slowdown** — the operation succeeds after an injected stall
+//!   (exercises retry/backoff timing without changing any bytes).
+//!
+//! [`with_retries`] is the shared bounded-exponential-backoff retry loop
+//! (reusing `simnet::faults::RetryPolicy`); callers that exhaust it get a
+//! [`StorageFailure`] carrying the full per-attempt error chain for the
+//! quarantine post-mortem.
+
+use serde::{Deserialize, Serialize};
+use simnet::faults::RetryPolicy;
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The storage operations the service layer performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StorageOp {
+    /// `create_dir_all`.
+    CreateDir,
+    /// Whole-file read.
+    Read,
+    /// Append bytes and fsync.
+    Append,
+    /// Truncate (or create) to a length and fsync.
+    Truncate,
+    /// File length query.
+    Len,
+    /// Atomic durable replace (tmp + fsync + rename + parent fsync).
+    AtomicWrite,
+    /// Remove a file.
+    Remove,
+    /// Remove a directory tree.
+    RemoveDir,
+}
+
+impl StorageOp {
+    /// Stable lowercase name (used in post-mortems and fault keying).
+    pub fn name(self) -> &'static str {
+        match self {
+            StorageOp::CreateDir => "create_dir",
+            StorageOp::Read => "read",
+            StorageOp::Append => "append",
+            StorageOp::Truncate => "truncate",
+            StorageOp::Len => "len",
+            StorageOp::AtomicWrite => "atomic_write",
+            StorageOp::Remove => "remove",
+            StorageOp::RemoveDir => "remove_dir",
+        }
+    }
+
+    /// Does this operation write (and therefore draw ENOSPC faults)?
+    fn writes(self) -> bool {
+        matches!(
+            self,
+            StorageOp::CreateDir | StorageOp::Append | StorageOp::Truncate | StorageOp::AtomicWrite
+        )
+    }
+}
+
+/// The storage layer every session and the daemon itself write through.
+///
+/// All methods are whole operations: they open, act, fsync, and close
+/// internally, so implementations can fail (or lie) at any boundary
+/// without leaking handles into the caller.
+pub trait Vfs: fmt::Debug + Send + Sync {
+    /// Create `path` and all missing ancestors.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+    /// Read the whole file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Append `bytes` (creating the file if missing) and fsync.
+    fn append_sync(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Truncate (creating if missing) to `len` bytes and fsync.
+    fn truncate_sync(&self, path: &Path, len: u64) -> io::Result<()>;
+    /// Current length in bytes; `Ok(0)` for a missing file.
+    fn file_len(&self, path: &Path) -> io::Result<u64>;
+    /// Atomically and durably replace `path` with `bytes`: write
+    /// `<path>.tmp`, fsync, rename over `path`, fsync the parent
+    /// directory.
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Remove a file.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Remove a directory and everything under it.
+    fn remove_dir_all(&self, path: &Path) -> io::Result<()>;
+    /// Does the path exist? (Metadata errors read as absent; existence
+    /// probes are not fault-injected — only acting on the path is.)
+    fn exists(&self, path: &Path) -> bool;
+    /// Total faults injected so far (0 for non-injecting implementations).
+    fn injected_faults(&self) -> u64 {
+        0
+    }
+}
+
+/// Passthrough to `std::fs` with the workspace durability discipline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RealVfs;
+
+impl Vfs for RealVfs {
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn append_sync(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(path)?;
+        f.write_all(bytes)?;
+        f.sync_all()
+    }
+
+    fn truncate_sync(&self, path: &Path, len: u64) -> io::Result<()> {
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        f.set_len(len)?;
+        f.sync_all()
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        match std::fs::metadata(path) {
+            Ok(m) => Ok(m.len()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(0),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let tmp = tmp_path(path);
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        sync_parent_dir(path)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn remove_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_dir_all(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+/// `<path>.tmp` — the staging name every atomic replace goes through.
+pub fn tmp_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_owned();
+    os.push(".tmp");
+    PathBuf::from(os)
+}
+
+#[cfg(unix)]
+fn sync_parent_dir(path: &Path) -> io::Result<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    std::fs::File::open(parent)?.sync_all()
+}
+
+#[cfg(not(unix))]
+fn sync_parent_dir(_path: &Path) -> io::Result<()> {
+    Ok(())
+}
+
+/// Per-class storage-fault probabilities (all default 0, like
+/// `simnet::faults::FaultConfig`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StorageFaultConfig {
+    /// Probability an operation fails with EIO (no side effect).
+    pub eio_rate: f64,
+    /// Probability a write-class operation fails with ENOSPC.
+    pub enospc_rate: f64,
+    /// Probability an append / tmp write persists a prefix then fails.
+    pub torn_rate: f64,
+    /// Probability an append / atomic write lies (reports success,
+    /// loses the tail) and the device then fails persistently.
+    pub fsync_lie_rate: f64,
+    /// Probability an operation is stalled before succeeding.
+    pub slow_rate: f64,
+    /// Stall length for slow operations, microseconds.
+    pub slow_us: u64,
+}
+
+impl Default for StorageFaultConfig {
+    fn default() -> Self {
+        Self {
+            eio_rate: 0.0,
+            enospc_rate: 0.0,
+            torn_rate: 0.0,
+            fsync_lie_rate: 0.0,
+            slow_rate: 0.0,
+            slow_us: 50,
+        }
+    }
+}
+
+impl StorageFaultConfig {
+    /// A transient-EIO-only adversary.
+    pub fn eio(rate: f64) -> Self {
+        Self {
+            eio_rate: rate,
+            ..Self::default()
+        }
+    }
+
+    /// A mixed adversary: EIO at `rate`, ENOSPC and torn writes at half,
+    /// slowdowns at half, fsync lies at a tenth.
+    pub fn mixed(rate: f64) -> Self {
+        Self {
+            eio_rate: rate,
+            enospc_rate: rate / 2.0,
+            torn_rate: rate / 2.0,
+            fsync_lie_rate: rate / 10.0,
+            slow_rate: rate / 2.0,
+            ..Self::default()
+        }
+    }
+
+    /// Torn-write-heavy adversary (crash-ordering stress).
+    pub fn torn(rate: f64) -> Self {
+        Self {
+            torn_rate: rate,
+            ..Self::default()
+        }
+    }
+
+    /// Fsync-lie-heavy adversary (durability stress).
+    pub fn lies(rate: f64) -> Self {
+        Self {
+            fsync_lie_rate: rate,
+            ..Self::default()
+        }
+    }
+
+    /// Are all rates zero?
+    pub fn is_quiescent(&self) -> bool {
+        self.eio_rate == 0.0
+            && self.enospc_rate == 0.0
+            && self.torn_rate == 0.0
+            && self.fsync_lie_rate == 0.0
+            && self.slow_rate == 0.0
+    }
+
+    fn validate(&self) {
+        for (name, r) in [
+            ("eio_rate", self.eio_rate),
+            ("enospc_rate", self.enospc_rate),
+            ("torn_rate", self.torn_rate),
+            ("fsync_lie_rate", self.fsync_lie_rate),
+            ("slow_rate", self.slow_rate),
+        ] {
+            assert!((0.0..=1.0).contains(&r), "{name} {r} outside [0, 1]");
+        }
+    }
+}
+
+/// What the plan decided for one storage operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StorageFault {
+    /// Perform normally.
+    None,
+    /// Fail with EIO, no side effect.
+    Eio,
+    /// Fail with ENOSPC, no side effect.
+    Enospc,
+    /// Persist this fraction of the bytes, then fail with EIO.
+    Torn(f64),
+    /// Report success, persist this fraction, then fail persistently.
+    FsyncLie(f64),
+    /// Stall this many microseconds, then perform normally.
+    Slow(u64),
+}
+
+/// Label-space tags keeping the per-class decision streams disjoint
+/// (same construction as `simnet::faults`).
+const TAG_EIO: u64 = 0xD150_0001;
+const TAG_ENOSPC: u64 = 0xD150_0002;
+const TAG_TORN: u64 = 0xD150_0003;
+const TAG_TORN_LEN: u64 = 0xD150_0004;
+const TAG_LIE: u64 = 0xD150_0005;
+const TAG_LIE_LEN: u64 = 0xD150_0006;
+const TAG_SLOW: u64 = 0xD150_0007;
+
+/// A deterministic storage-fault schedule: seed + rates, no mutable
+/// state. Every decision is a pure function of
+/// `(seed, path, op, attempt)`, so the plan can be shared across threads
+/// and re-queried freely without perturbing the schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StorageFaultPlan {
+    seed: u64,
+    config: StorageFaultConfig,
+}
+
+impl StorageFaultPlan {
+    /// Plan over `config`, keyed by `seed`.
+    ///
+    /// # Panics
+    /// Panics on rates outside `[0, 1]`.
+    pub fn new(seed: u64, config: StorageFaultConfig) -> Self {
+        config.validate();
+        Self { seed, config }
+    }
+
+    /// The fault-free plan.
+    pub fn quiescent() -> Self {
+        Self::new(0, StorageFaultConfig::default())
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &StorageFaultConfig {
+        &self.config
+    }
+
+    /// The seed in force.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn hash(&self, tag: u64, path_hash: u64, op: StorageOp, attempt: u32) -> u64 {
+        let mut acc = mix64(self.seed ^ 0x5106_F417_B1A5_D15C);
+        for l in [tag, path_hash, op as u64, attempt as u64] {
+            acc = mix64(acc ^ l.rotate_left(17));
+        }
+        mix64(acc)
+    }
+
+    fn uniform(&self, tag: u64, path_hash: u64, op: StorageOp, attempt: u32) -> f64 {
+        (self.hash(tag, path_hash, op, attempt) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn bernoulli(&self, p: f64, tag: u64, path_hash: u64, op: StorageOp, attempt: u32) -> bool {
+        p > 0.0 && self.uniform(tag, path_hash, op, attempt) < p
+    }
+
+    /// Fraction in `[0.25, 1)` of a torn/lied write that reaches disk.
+    fn keep_fraction(&self, tag: u64, path_hash: u64, op: StorageOp, attempt: u32) -> f64 {
+        0.25 + 0.75 * self.uniform(tag, path_hash, op, attempt)
+    }
+
+    /// The fate of call number `attempt` of `op` on `path`. Classes are
+    /// drawn in severity order (lie, torn, EIO, ENOSPC, slow); classes
+    /// that do not apply to `op` fall through to the next.
+    pub fn decide(&self, path: &Path, op: StorageOp, attempt: u32) -> StorageFault {
+        let ph = hash_path(path);
+        let lies_apply = matches!(op, StorageOp::Append | StorageOp::AtomicWrite);
+        if lies_apply && self.bernoulli(self.config.fsync_lie_rate, TAG_LIE, ph, op, attempt) {
+            return StorageFault::FsyncLie(self.keep_fraction(TAG_LIE_LEN, ph, op, attempt));
+        }
+        if lies_apply && self.bernoulli(self.config.torn_rate, TAG_TORN, ph, op, attempt) {
+            return StorageFault::Torn(self.keep_fraction(TAG_TORN_LEN, ph, op, attempt));
+        }
+        if self.bernoulli(self.config.eio_rate, TAG_EIO, ph, op, attempt) {
+            return StorageFault::Eio;
+        }
+        if op.writes() && self.bernoulli(self.config.enospc_rate, TAG_ENOSPC, ph, op, attempt) {
+            return StorageFault::Enospc;
+        }
+        if self.bernoulli(self.config.slow_rate, TAG_SLOW, ph, op, attempt) {
+            return StorageFault::Slow(self.config.slow_us);
+        }
+        StorageFault::None
+    }
+}
+
+/// Fold a path's bytes into one u64 label with the SplitMix64 chain.
+fn hash_path(path: &Path) -> u64 {
+    let bytes = path.to_string_lossy();
+    let bytes = bytes.as_bytes();
+    let mut acc = mix64(bytes.len() as u64 ^ 0x9E37_79B9);
+    for chunk in bytes.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        acc = mix64(acc ^ u64::from_le_bytes(word));
+    }
+    acc
+}
+
+/// SplitMix64 finalizer (same mixer as `simnet::faults`).
+#[inline]
+fn mix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A hostile disk: [`RealVfs`] behind a [`StorageFaultPlan`].
+///
+/// The only mutable state is bookkeeping that is itself deterministic
+/// given the callers' deterministic operation sequences: a per-
+/// `(path, op)` call counter (the `attempt` label, so retries redraw
+/// independently) and the set of directories killed by an fsync lie.
+/// Each session touches only paths under its own directory, so the
+/// schedule one session experiences is independent of every other
+/// session and of thread interleaving.
+#[derive(Debug)]
+pub struct FaultVfs {
+    plan: StorageFaultPlan,
+    inner: RealVfs,
+    /// Schedule paths relative to this root (see [`FaultVfs::rooted`]).
+    root: Option<PathBuf>,
+    calls: Mutex<HashMap<(PathBuf, StorageOp), u32>>,
+    /// Directories whose subtree fails persistently (post-fsync-lie).
+    dead: Mutex<Vec<PathBuf>>,
+    injected: AtomicU64,
+}
+
+impl FaultVfs {
+    /// A hostile disk driven by `plan`, keyed by absolute paths.
+    pub fn new(plan: StorageFaultPlan) -> Self {
+        Self {
+            plan,
+            inner: RealVfs,
+            root: None,
+            calls: Mutex::new(HashMap::new()),
+            dead: Mutex::new(Vec::new()),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// A hostile disk whose schedule is keyed by paths *relative to
+    /// `root`* ("tenants/acme/job-1/trace.jsonl" instead of the absolute
+    /// path). This makes the fault schedule independent of where the
+    /// work directory happens to live — the property that lets the
+    /// torture sweep and the fault tests pin exact quarantine sets
+    /// across machines and process ids.
+    pub fn rooted(plan: StorageFaultPlan, root: impl Into<PathBuf>) -> Self {
+        let mut vfs = Self::new(plan);
+        vfs.root = Some(root.into());
+        vfs
+    }
+
+    /// The plan in force.
+    pub fn plan(&self) -> &StorageFaultPlan {
+        &self.plan
+    }
+
+    fn next_attempt(&self, path: &Path, op: StorageOp) -> u32 {
+        let mut calls = self.calls.lock().unwrap();
+        let n = calls.entry((path.to_path_buf(), op)).or_insert(0);
+        let attempt = *n;
+        *n = n.wrapping_add(1);
+        attempt
+    }
+
+    /// Persistent failure for paths under a lied-to directory.
+    fn guard_dead(&self, path: &Path) -> io::Result<()> {
+        let dead = self.dead.lock().unwrap();
+        if dead.iter().any(|d| path.starts_with(d)) {
+            return Err(io::Error::other(
+                "injected: device failed after lost write (fsync lie)",
+            ));
+        }
+        Ok(())
+    }
+
+    fn mark_dead(&self, path: &Path) {
+        let dir = path.parent().unwrap_or(Path::new(".")).to_path_buf();
+        let mut dead = self.dead.lock().unwrap();
+        if !dead.contains(&dir) {
+            dead.push(dir);
+        }
+    }
+
+    fn count(&self) {
+        self.injected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The path the schedule sees: relative to `root` when rooted.
+    fn plan_path<'a>(&self, path: &'a Path) -> &'a Path {
+        match &self.root {
+            Some(root) => path.strip_prefix(root).unwrap_or(path),
+            None => path,
+        }
+    }
+
+    fn decide(&self, path: &Path, op: StorageOp) -> io::Result<StorageFault> {
+        self.guard_dead(path)?;
+        let attempt = self.next_attempt(path, op);
+        let fault = self.plan.decide(self.plan_path(path), op, attempt);
+        match fault {
+            StorageFault::None => {}
+            StorageFault::Slow(us) => {
+                self.count();
+                std::thread::sleep(std::time::Duration::from_micros(us));
+            }
+            _ => self.count(),
+        }
+        Ok(fault)
+    }
+
+    fn keep_len(bytes: &[u8], fraction: f64) -> usize {
+        ((bytes.len() as f64 * fraction) as usize).min(bytes.len())
+    }
+}
+
+fn eio(what: &str) -> io::Error {
+    io::Error::other(format!("injected EIO: {what}"))
+}
+
+fn enospc(what: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::StorageFull,
+        format!("injected ENOSPC: {what}"),
+    )
+}
+
+impl Vfs for FaultVfs {
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        match self.decide(path, StorageOp::CreateDir)? {
+            StorageFault::Eio | StorageFault::Torn(_) | StorageFault::FsyncLie(_) => {
+                Err(eio("create_dir"))
+            }
+            StorageFault::Enospc => Err(enospc("create_dir")),
+            StorageFault::None | StorageFault::Slow(_) => self.inner.create_dir_all(path),
+        }
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        match self.decide(path, StorageOp::Read)? {
+            StorageFault::Eio | StorageFault::Torn(_) | StorageFault::FsyncLie(_) => {
+                Err(eio("read"))
+            }
+            StorageFault::Enospc | StorageFault::None | StorageFault::Slow(_) => {
+                self.inner.read(path)
+            }
+        }
+    }
+
+    fn append_sync(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        match self.decide(path, StorageOp::Append)? {
+            StorageFault::Eio => Err(eio("append")),
+            StorageFault::Enospc => Err(enospc("append")),
+            StorageFault::Torn(keep) => {
+                // A prefix reaches disk, then the write errors: the torn
+                // tail the caller must truncate away before retrying.
+                let _ = self
+                    .inner
+                    .append_sync(path, &bytes[..Self::keep_len(bytes, keep)]);
+                Err(eio("append torn mid-write"))
+            }
+            StorageFault::FsyncLie(keep) => {
+                // Success is reported, but the tail never hit the platter
+                // — and the device dies under the caller immediately
+                // after, so the lie is observed the only way it can be:
+                // as data missing after a crash.
+                let _ = self
+                    .inner
+                    .append_sync(path, &bytes[..Self::keep_len(bytes, keep)]);
+                self.mark_dead(path);
+                Ok(())
+            }
+            StorageFault::None | StorageFault::Slow(_) => self.inner.append_sync(path, bytes),
+        }
+    }
+
+    fn truncate_sync(&self, path: &Path, len: u64) -> io::Result<()> {
+        match self.decide(path, StorageOp::Truncate)? {
+            StorageFault::Eio | StorageFault::Torn(_) | StorageFault::FsyncLie(_) => {
+                Err(eio("truncate"))
+            }
+            StorageFault::Enospc => Err(enospc("truncate")),
+            StorageFault::None | StorageFault::Slow(_) => self.inner.truncate_sync(path, len),
+        }
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        match self.decide(path, StorageOp::Len)? {
+            StorageFault::Eio | StorageFault::Torn(_) | StorageFault::FsyncLie(_) => {
+                Err(eio("len"))
+            }
+            StorageFault::Enospc | StorageFault::None | StorageFault::Slow(_) => {
+                self.inner.file_len(path)
+            }
+        }
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        match self.decide(path, StorageOp::AtomicWrite)? {
+            StorageFault::Eio => Err(eio("atomic write")),
+            StorageFault::Enospc => Err(enospc("atomic write")),
+            StorageFault::Torn(keep) => {
+                // The crash hits mid-tmp-write: an orphaned partial
+                // `<path>.tmp` is left behind and the final file is
+                // untouched (the startup sweep's job to clean).
+                let torn = &bytes[..Self::keep_len(bytes, keep)];
+                let _ = std::fs::write(tmp_path(path), torn);
+                Err(eio("atomic write torn in tmp file"))
+            }
+            StorageFault::FsyncLie(_) => {
+                // The rename "succeeded" but the directory entry was
+                // rolled back by the crash: the old content survives and
+                // the device dies under the caller.
+                self.mark_dead(path);
+                Ok(())
+            }
+            StorageFault::None | StorageFault::Slow(_) => self.inner.write_atomic(path, bytes),
+        }
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        match self.decide(path, StorageOp::Remove)? {
+            StorageFault::Eio | StorageFault::Torn(_) | StorageFault::FsyncLie(_) => {
+                Err(eio("remove"))
+            }
+            StorageFault::Enospc | StorageFault::None | StorageFault::Slow(_) => {
+                self.inner.remove_file(path)
+            }
+        }
+    }
+
+    fn remove_dir_all(&self, path: &Path) -> io::Result<()> {
+        match self.decide(path, StorageOp::RemoveDir)? {
+            StorageFault::Eio | StorageFault::Torn(_) | StorageFault::FsyncLie(_) => {
+                Err(eio("remove_dir"))
+            }
+            StorageFault::Enospc | StorageFault::None | StorageFault::Slow(_) => {
+                self.inner.remove_dir_all(path)
+            }
+        }
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+
+    fn injected_faults(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+}
+
+/// A storage operation that kept failing through every retry: the raw
+/// material of a quarantine post-mortem.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StorageFailure {
+    /// Which operation failed.
+    pub op: StorageOp,
+    /// The path it failed on.
+    pub path: String,
+    /// Attempts made (original + retries).
+    pub attempts: u32,
+    /// Per-attempt error messages, first to last.
+    pub errors: Vec<String>,
+}
+
+impl fmt::Display for StorageFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} on {:?} failed after {} attempts (last: {})",
+            self.op.name(),
+            self.path,
+            self.attempts,
+            self.errors.last().map(String::as_str).unwrap_or("?"),
+        )
+    }
+}
+
+impl std::error::Error for StorageFailure {}
+
+/// Run `f` under `policy`: bounded exponential backoff between attempts
+/// (`base_delay · 2^(a-1)` milliseconds, capped at 50 ms so hostile-disk
+/// tests stay fast), `retries` incremented once per retry performed.
+/// Exhaustion returns the full error chain as a [`StorageFailure`].
+pub fn with_retries<T>(
+    policy: &RetryPolicy,
+    op: StorageOp,
+    path: &Path,
+    retries: &mut u64,
+    mut f: impl FnMut() -> io::Result<T>,
+) -> Result<T, StorageFailure> {
+    let attempts = policy.max_attempts.saturating_add(1);
+    let mut errors = Vec::new();
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            *retries += 1;
+            let ms = policy.backoff_rounds(attempt, 0.0).min(50) as u64;
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
+        match f() {
+            Ok(v) => return Ok(v),
+            Err(e) => errors.push(format!("attempt {}: {e}", attempt + 1)),
+        }
+    }
+    Err(StorageFailure {
+        op,
+        path: path.display().to_string(),
+        attempts,
+        errors,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mwrd-vfs-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn quiescent_plan_injects_nothing() {
+        let p = StorageFaultPlan::quiescent();
+        for attempt in 0..100 {
+            for op in [
+                StorageOp::Read,
+                StorageOp::Append,
+                StorageOp::AtomicWrite,
+                StorageOp::Remove,
+            ] {
+                assert_eq!(
+                    p.decide(Path::new("a/b/c.json"), op, attempt),
+                    StorageFault::None
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decisions_are_pure_and_deterministic() {
+        let a = StorageFaultPlan::new(7, StorageFaultConfig::mixed(0.4));
+        let b = StorageFaultPlan::new(7, StorageFaultConfig::mixed(0.4));
+        for attempt in 0..200 {
+            assert_eq!(
+                a.decide(Path::new("t/x/trace.jsonl"), StorageOp::Append, attempt),
+                b.decide(Path::new("t/x/trace.jsonl"), StorageOp::Append, attempt),
+            );
+        }
+        let c = StorageFaultPlan::new(8, StorageFaultConfig::mixed(0.4));
+        let fates_a: Vec<_> = (0..200)
+            .map(|n| a.decide(Path::new("p"), StorageOp::Append, n))
+            .collect();
+        let fates_c: Vec<_> = (0..200)
+            .map(|n| c.decide(Path::new("p"), StorageOp::Append, n))
+            .collect();
+        assert_ne!(fates_a, fates_c, "different seeds must differ");
+    }
+
+    #[test]
+    fn paths_decorrelate_decisions() {
+        let p = StorageFaultPlan::new(3, StorageFaultConfig::eio(0.5));
+        let a: Vec<_> = (0..200)
+            .map(|n| p.decide(Path::new("tenants/a/j/trace.jsonl"), StorageOp::Append, n))
+            .collect();
+        let b: Vec<_> = (0..200)
+            .map(|n| p.decide(Path::new("tenants/b/j/trace.jsonl"), StorageOp::Append, n))
+            .collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn eio_rate_is_roughly_honored() {
+        let p = StorageFaultPlan::new(11, StorageFaultConfig::eio(0.25));
+        let hits = (0..20_000)
+            .filter(|&n| p.decide(Path::new("x"), StorageOp::Read, n) == StorageFault::Eio)
+            .count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "observed EIO rate {rate}");
+    }
+
+    #[test]
+    fn enospc_only_hits_write_ops() {
+        let cfg = StorageFaultConfig {
+            enospc_rate: 1.0,
+            ..StorageFaultConfig::default()
+        };
+        let p = StorageFaultPlan::new(1, cfg);
+        assert_eq!(
+            p.decide(Path::new("x"), StorageOp::Read, 0),
+            StorageFault::None
+        );
+        assert_eq!(
+            p.decide(Path::new("x"), StorageOp::Append, 0),
+            StorageFault::Enospc
+        );
+    }
+
+    #[test]
+    fn torn_append_persists_a_prefix_then_errors() {
+        let dir = tmp_dir("torn");
+        let path = dir.join("trace.jsonl");
+        let vfs = FaultVfs::new(StorageFaultPlan::new(2, StorageFaultConfig::torn(1.0)));
+        let err = vfs.append_sync(&path, b"0123456789abcdef").unwrap_err();
+        assert!(err.to_string().contains("torn"), "{err}");
+        let on_disk = std::fs::read(&path).unwrap();
+        assert!(!on_disk.is_empty() && on_disk.len() < 16, "prefix only");
+        assert!(b"0123456789abcdef".starts_with(&on_disk[..]));
+        assert!(vfs.injected_faults() >= 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fsync_lie_reports_success_then_kills_the_directory() {
+        let dir = tmp_dir("lie");
+        let path = dir.join("trace.jsonl");
+        let vfs = FaultVfs::new(StorageFaultPlan::new(5, StorageFaultConfig::lies(1.0)));
+        vfs.append_sync(&path, b"0123456789abcdef").unwrap();
+        let on_disk = std::fs::read(&path).unwrap();
+        assert!(on_disk.len() < 16, "the lie must lose the tail");
+        // Every subsequent operation under the session directory fails
+        // persistently, so the lie is always followed by the "crash".
+        for _ in 0..5 {
+            assert!(vfs.append_sync(&path, b"more").is_err());
+            assert!(vfs.write_atomic(&dir.join("session.json"), b"{}").is_err());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn retries_redraw_attempts_independently() {
+        // At 50% EIO, four attempts virtually always find a success.
+        let dir = tmp_dir("retry");
+        let path = dir.join("doc.json");
+        let vfs = FaultVfs::new(StorageFaultPlan::new(13, StorageFaultConfig::eio(0.5)));
+        let policy = RetryPolicy {
+            max_attempts: 16,
+            base_delay: 1,
+        };
+        let mut retries = 0;
+        for i in 0..20 {
+            with_retries(&policy, StorageOp::AtomicWrite, &path, &mut retries, || {
+                vfs.write_atomic(&path, format!("doc {i}").as_bytes())
+            })
+            .unwrap();
+        }
+        assert!(retries > 0, "a 50% adversary must force some retries");
+        assert_eq!(std::fs::read(&path).unwrap(), b"doc 19");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn with_retries_reports_full_error_chain_on_exhaustion() {
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            base_delay: 1,
+        };
+        let mut retries = 0;
+        let mut n = 0;
+        let failure = with_retries(
+            &policy,
+            StorageOp::Append,
+            Path::new("t/x/trace.jsonl"),
+            &mut retries,
+            || -> io::Result<()> {
+                n += 1;
+                Err(io::Error::other(format!("boom {n}")))
+            },
+        )
+        .unwrap_err();
+        assert_eq!(failure.attempts, 3);
+        assert_eq!(retries, 2);
+        assert_eq!(failure.errors.len(), 3);
+        assert!(failure.errors[2].contains("boom 3"));
+        assert!(failure.to_string().contains("append"));
+    }
+
+    #[test]
+    fn real_vfs_write_atomic_replaces_and_cleans_tmp() {
+        let dir = tmp_dir("atomic");
+        let p = dir.join("doc.json");
+        RealVfs.write_atomic(&p, b"one").unwrap();
+        RealVfs.write_atomic(&p, b"two").unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), b"two");
+        assert!(!tmp_path(&p).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn real_vfs_truncate_creates_and_file_len_tolerates_missing() {
+        let dir = tmp_dir("trunc");
+        let p = dir.join("trace.jsonl");
+        assert_eq!(RealVfs.file_len(&p).unwrap(), 0, "missing file reads 0");
+        RealVfs.truncate_sync(&p, 0).unwrap();
+        RealVfs.append_sync(&p, b"abcdef").unwrap();
+        assert_eq!(RealVfs.file_len(&p).unwrap(), 6);
+        RealVfs.truncate_sync(&p, 2).unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), b"ab");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_rate_rejected() {
+        let _ = StorageFaultPlan::new(0, StorageFaultConfig::eio(1.5));
+    }
+
+    /// Two rooted adversaries over *different* work directories draw the
+    /// same schedule for the same relative path — the invariance that
+    /// makes quarantine sets reproducible across machines and pids.
+    #[test]
+    fn rooted_schedule_ignores_where_the_root_lives() {
+        let plan = || StorageFaultPlan::new(99, StorageFaultConfig::mixed(0.3));
+        let a = FaultVfs::rooted(plan(), "/mnt/alpha/work");
+        let b = FaultVfs::rooted(plan(), "/tmp/very/different/place-12345");
+        for n in 0..200 {
+            let pa = format!("/mnt/alpha/work/tenants/t/j/trace-{}.jsonl", n % 7);
+            let pb = format!(
+                "/tmp/very/different/place-12345/tenants/t/j/trace-{}.jsonl",
+                n % 7
+            );
+            let fa = plan_decision(&a, Path::new(&pa), StorageOp::Append);
+            let fb = plan_decision(&b, Path::new(&pb), StorageOp::Append);
+            assert_eq!(fa, fb, "draw {n} diverged");
+        }
+    }
+
+    /// Draw through the full per-(path,op) attempt bookkeeping.
+    fn plan_decision(vfs: &FaultVfs, path: &Path, op: StorageOp) -> StorageFault {
+        let attempt = vfs.next_attempt(path, op);
+        vfs.plan.decide(vfs.plan_path(path), op, attempt)
+    }
+}

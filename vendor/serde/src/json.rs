@@ -14,6 +14,49 @@ pub fn to_string(v: &Value) -> String {
     out
 }
 
+/// Encode a value as two-space-indented JSON.
+pub fn to_string_pretty(v: &Value) -> String {
+    let mut out = String::new();
+    write_value_pretty(v, &mut out, 0);
+    out
+}
+
+fn write_value_pretty(v: &Value, out: &mut String, depth: usize) {
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(if i > 0 { ",\n" } else { "\n" });
+                indent(out, depth + 1);
+                write_value_pretty(item, out, depth + 1);
+            }
+            out.push('\n');
+            indent(out, depth);
+            out.push(']');
+        }
+        Value::Object(entries) if !entries.is_empty() => {
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                out.push_str(if i > 0 { ",\n" } else { "\n" });
+                indent(out, depth + 1);
+                write_string(k, out);
+                out.push_str(": ");
+                write_value_pretty(val, out, depth + 1);
+            }
+            out.push('\n');
+            indent(out, depth);
+            out.push('}');
+        }
+        other => write_value(other, out),
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
 fn write_value(v: &Value, out: &mut String) {
     match v {
         Value::Null => out.push_str("null"),

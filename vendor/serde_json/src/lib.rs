@@ -8,6 +8,11 @@ pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Erro
     Ok(serde::json::to_string(&value.to_value()))
 }
 
+/// Serialize a value to two-space-indented JSON text.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(serde::json::to_string_pretty(&value.to_value()))
+}
+
 /// Deserialize a value from JSON text.
 pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
     T::from_value(&serde::json::parse(s)?)
