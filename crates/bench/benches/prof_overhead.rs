@@ -1,0 +1,72 @@
+//! The profiler's zero-overhead-when-disabled gate (docs/TELEMETRY.md).
+//!
+//! The round kernels (`plan`, water-fill, normalize, sample, `update`)
+//! carry `mwu_core::prof` spans unconditionally. The tentpole claim is
+//! that a *disabled* profiler — the production default — costs one
+//! relaxed atomic load per span and nothing else, so the kernels run at
+//! their pre-profiler speed. Two groups pin that down:
+//!
+//! * `prof_span_raw` — the per-span primitive cost, disabled vs enabled;
+//! * `prof_overhead` — a full convergence run, disabled vs enabled, on
+//!   the same spanned kernels. The disabled number is the one CI eyeballs
+//!   against `null_observer_overhead`'s baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mwu_core::prelude::*;
+use mwu_core::prof;
+use mwu_datasets::random;
+
+fn bench_span_raw(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prof_span_raw");
+
+    prof::set_enabled(false);
+    group.bench_function("disabled", |b| {
+        b.iter(|| prof::span(prof::Phase::Plan));
+    });
+
+    prof::set_enabled(true);
+    group.bench_function("enabled", |b| {
+        b.iter(|| prof::span(prof::Phase::Plan));
+    });
+    prof::set_enabled(false);
+    prof::reset();
+
+    group.finish();
+}
+
+fn bench_prof_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prof_overhead");
+    group.sample_size(20);
+    let k = 256usize;
+    let values = random::generate(k, 1);
+    let cfg = RunConfig {
+        max_iterations: 200,
+        seed: 7,
+        run_past_convergence: true,
+    };
+
+    prof::set_enabled(false);
+    group.bench_function("spans_disabled", |b| {
+        b.iter(|| {
+            let mut alg = StandardMwu::new(k, StandardConfig::default());
+            let mut bandit = ValueBandit::bernoulli(values.clone());
+            run_to_convergence(&mut alg, &mut bandit, &cfg)
+        });
+    });
+
+    prof::set_enabled(true);
+    group.bench_function("spans_enabled", |b| {
+        b.iter(|| {
+            let mut alg = StandardMwu::new(k, StandardConfig::default());
+            let mut bandit = ValueBandit::bernoulli(values.clone());
+            run_to_convergence(&mut alg, &mut bandit, &cfg)
+        });
+    });
+    prof::set_enabled(false);
+    prof::reset();
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_span_raw, bench_prof_overhead);
+criterion_main!(benches);

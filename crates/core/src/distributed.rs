@@ -241,6 +241,7 @@ impl MwuAlgorithm for DistributedMwu {
     /// couple of nanoseconds per agent.
     fn plan(&mut self, rng: &mut SmallRng) -> &[usize] {
         use rand::RngCore;
+        let _span = crate::prof::span(crate::prof::Phase::Sample);
         let pop = self.choices.len();
         self.in_degree.iter_mut().for_each(|d| *d = 0);
         let mut messages = 0u64;
@@ -454,6 +455,10 @@ impl DistributedMwu {
         let pop = self.choices.len();
         let mut report = GossipReport::default();
 
+        // Decode/apply side of the gossip exchange: deduplication and
+        // screening are where incoming observations are unpacked.
+        let decode_span = crate::prof::span(crate::prof::Phase::GossipDecode);
+
         // Deduplicate: freshest observation per agent wins.
         let mut slots: Vec<Option<(f64, u32)>> = vec![None; pop];
         for obs in observations {
@@ -500,6 +505,7 @@ impl DistributedMwu {
         }
         report.used = slots.iter().filter(|s| s.is_some()).count();
         report.missing = pop - report.used;
+        drop(decode_span);
 
         // Quorum gate: too few survivors ⇒ no-op round.
         let needed = (gossip.quorum * pop as f64).ceil() as usize;

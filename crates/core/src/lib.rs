@@ -64,6 +64,7 @@ pub mod bandit;
 pub mod convergence;
 pub mod cost;
 pub mod distributed;
+pub mod prof;
 #[cfg(test)]
 mod reference;
 pub mod regret;
@@ -76,6 +77,11 @@ pub mod stats;
 pub mod trace;
 pub mod weights;
 
+/// Version of the MWU round kernels, stamped into benchmark artifact
+/// `meta` blocks so perf trajectories can be compared across kernel
+/// revisions.
+pub const KERNEL_VERSION: &str = env!("CARGO_PKG_VERSION");
+
 pub use alternatives::{EpsilonGreedy, Exp3, HedgeConfig, HedgeMwu, Ucb1};
 pub use bandit::{Bandit, NoiseModel, ValueBandit};
 pub use convergence::{ConvergenceCriterion, ConvergenceState};
@@ -83,6 +89,7 @@ pub use cost::{AsymptoticCosts, CostWeights, Variant, WeightedCostModel};
 pub use distributed::{
     DistributedConfig, DistributedMwu, GossipConfig, GossipObservation, GossipReport,
 };
+pub use prof::{Phase, ProfileReport, SpanGuard};
 pub use regret::{run_with_regret, run_with_regret_observed, RegretCurve};
 pub use run::{run_to_convergence, run_to_convergence_observed, RunConfig, RunOutcome};
 pub use schedule::LearningRate;

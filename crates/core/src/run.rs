@@ -140,13 +140,19 @@ pub fn run_to_convergence_observed<A: MwuAlgorithm, B: Bandit, O: Observer>(
         } else {
             crate::CommStats::default()
         };
-        let plan = alg.plan(&mut rng);
+        let plan = {
+            let _span = crate::prof::span(crate::prof::Phase::Plan);
+            alg.plan(&mut rng)
+        };
         rewards.clear();
         rewards.reserve(plan.len());
         for &arm in plan {
             rewards.push(bandit.pull(arm, &mut rng));
         }
-        alg.update(&rewards, &mut rng);
+        {
+            let _span = crate::prof::span(crate::prof::Phase::Update);
+            alg.update(&rewards, &mut rng);
+        }
         iterations += 1;
         if observer.enabled() {
             alg.probabilities_into(&mut probs);

@@ -321,19 +321,22 @@ impl MwuAlgorithm for SlateMwu {
                 .iter()
                 .map(|&p| (s as f64 * p).min(1.0)),
         );
-        match self.config.sampling {
-            SlateSampling::Systematic => {
-                systematic_sample_with_scratch(
-                    &self.inclusion,
-                    s,
-                    rng,
-                    &mut self.sys_acc,
-                    &mut self.plan_buf,
-                );
-            }
-            SlateSampling::ConvexDecomposition => {
-                decompose_into_scratch(&self.inclusion, s, &mut self.decomp);
-                self.decomp.sample_into(s, rng, &mut self.plan_buf);
+        {
+            let _span = crate::prof::span(crate::prof::Phase::Sample);
+            match self.config.sampling {
+                SlateSampling::Systematic => {
+                    systematic_sample_with_scratch(
+                        &self.inclusion,
+                        s,
+                        rng,
+                        &mut self.sys_acc,
+                        &mut self.plan_buf,
+                    );
+                }
+                SlateSampling::ConvexDecomposition => {
+                    decompose_into_scratch(&self.inclusion, s, &mut self.decomp);
+                    self.decomp.sample_into(s, rng, &mut self.plan_buf);
+                }
             }
         }
         self.plan_q.clear();

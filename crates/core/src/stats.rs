@@ -262,6 +262,12 @@ impl Histogram {
         self.stats.count()
     }
 
+    /// True when nothing has been recorded — the case where
+    /// [`Histogram::quantile`] would return an ambiguous `0.0`.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
     /// Exact moments of everything recorded.
     pub fn stats(&self) -> &RunningStats {
         &self.stats
@@ -270,27 +276,35 @@ impl Histogram {
     /// Estimated `q`-quantile (`q` clamped to `[0, 1]`): the upper edge of
     /// the bucket holding the rank-`⌈q·n⌉` observation, clamped into the
     /// observed `[min, max]`. Bucket edges are fixed, so the estimate is
-    /// monotone non-decreasing in `q`. Returns 0.0 when empty.
+    /// monotone non-decreasing in `q`. Returns 0.0 when empty — callers that
+    /// must distinguish "no data" from a real zero should use
+    /// [`Histogram::try_quantile`].
     pub fn quantile(&self, q: f64) -> f64 {
+        self.try_quantile(q).unwrap_or(0.0)
+    }
+
+    /// [`Histogram::quantile`] that reports emptiness instead of conflating
+    /// it with an observed zero: `None` when no observations were recorded.
+    pub fn try_quantile(&self, q: f64) -> Option<f64> {
         let n = self.count();
         if n == 0 {
-            return 0.0;
+            return None;
         }
         let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
         let clamp = |v: f64| v.clamp(self.stats.min(), self.stats.max());
         let mut cum = self.non_positive;
         if cum >= rank {
             // Rank falls among the non-positive observations.
-            return clamp(0.0);
+            return Some(clamp(0.0));
         }
         for (i, &c) in self.counts.iter().enumerate() {
             cum += c;
             if cum >= rank {
                 let upper_exp = i as i32 + HISTOGRAM_MIN_EXP + 1;
-                return clamp((upper_exp as f64).exp2());
+                return Some(clamp((upper_exp as f64).exp2()));
             }
         }
-        self.stats.max()
+        Some(self.stats.max())
     }
 
     /// Raw bucket counts (index `i` covers `[2^(i-32), 2^(i-31))`), for
@@ -448,6 +462,19 @@ mod tests {
             prev = v;
         }
         assert_eq!(Histogram::new().quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_distinguishable_from_zero() {
+        let empty = Histogram::new();
+        assert!(empty.is_empty());
+        assert_eq!(empty.try_quantile(0.5), None);
+
+        let mut zeros = Histogram::new();
+        zeros.record(0.0);
+        assert!(!zeros.is_empty());
+        assert_eq!(zeros.try_quantile(0.5), Some(0.0));
+        assert_eq!(zeros.quantile(0.5), 0.0);
     }
 
     #[test]

@@ -26,11 +26,11 @@
 //!
 //! [`Tee`] composes two observers (e.g. a trace file plus progress lines).
 
+use crate::prof::Clock;
 use crate::stats::{Counter, Histogram};
 use crate::{CommStats, RunOutcome};
 use serde::{Deserialize, Serialize};
 use std::io::Write;
-use std::time::Instant;
 
 /// Shannon entropy (nats) of a probability vector; zero-mass entries
 /// contribute nothing. The per-iteration "how undecided is the algorithm"
@@ -696,13 +696,24 @@ pub struct MetricsSink {
     /// Per-cycle communication congestion (the [`CommDelta`] congestion
     /// sum).
     pub congestion: Histogram,
-    last_tick: Option<Instant>,
+    clock: Clock,
+    last_tick_ns: Option<u64>,
 }
 
 impl MetricsSink {
-    /// Empty sink.
+    /// Empty sink with the production monotonic clock.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Empty sink measuring latency with the given [`Clock`] — pass
+    /// [`Clock::counting`] in tests to make the latency histogram exactly
+    /// assertable instead of only shape-checkable.
+    pub fn with_clock(clock: Clock) -> Self {
+        MetricsSink {
+            clock,
+            ..Self::default()
+        }
     }
 
     /// Fold another sink's aggregates into this one (counts conserved,
@@ -730,7 +741,7 @@ impl MetricsSink {
             "runs={} iterations={} convergences={} probes={} repairs={} \
              faults={} retries={} retries_exhausted={} \
              io_retries={} io_faults_injected={} sessions_quarantined={} \
-             reward_mean={:.4} congestion_p99={:.1} latency_p50={:.6}s",
+             reward_mean={:.4} congestion_p99={:.1} latency_p50={}",
             self.runs.get(),
             self.iterations.get(),
             self.convergences.get(),
@@ -744,7 +755,12 @@ impl MetricsSink {
             self.sessions_quarantined.get(),
             self.reward.stats().mean(),
             self.congestion.quantile(0.99),
-            self.iteration_latency.quantile(0.5),
+            // "n/a" when no two consecutive iterations were timed — an
+            // empty histogram's quantile would print as a misleading 0.0s.
+            match self.iteration_latency.try_quantile(0.5) {
+                Some(p50) => format!("{p50:.6}s"),
+                None => "n/a".to_owned(),
+            },
         )
     }
 }
@@ -752,7 +768,7 @@ impl MetricsSink {
 impl Observer for MetricsSink {
     fn on_run_start(&mut self, _e: RunStartEvent) {
         self.runs.incr();
-        self.last_tick = None;
+        self.last_tick_ns = None;
     }
 
     fn on_iteration(&mut self, e: IterationEvent) {
@@ -760,12 +776,12 @@ impl Observer for MetricsSink {
         self.probes.add(e.reward.probes as u64);
         self.reward.record(e.reward.mean);
         self.congestion.record(e.comm.congestion as f64);
-        let now = Instant::now();
-        if let Some(prev) = self.last_tick {
+        let now_ns = self.clock.now_ns();
+        if let Some(prev_ns) = self.last_tick_ns {
             self.iteration_latency
-                .record(now.duration_since(prev).as_secs_f64());
+                .record(now_ns.saturating_sub(prev_ns) as f64 * 1e-9);
         }
-        self.last_tick = Some(now);
+        self.last_tick_ns = Some(now_ns);
     }
 
     fn on_convergence(&mut self, _e: ConvergenceEvent) {
@@ -929,6 +945,30 @@ mod tests {
         assert_eq!(a.probes.get(), 6);
         assert_eq!(a.reward.count(), 3);
         assert!(!a.report().is_empty());
+    }
+
+    #[test]
+    fn counting_clock_makes_latency_exact() {
+        // With a counting clock ticking 1 ms per read, iteration N+1 lands
+        // exactly 1 ms after iteration N — the histogram holds exact values,
+        // not merely a plausible shape.
+        let mut sink = MetricsSink::with_clock(Clock::counting(1_000_000));
+        for i in 1..=4 {
+            sink.on_iteration(iteration_event(i));
+        }
+        assert_eq!(sink.iteration_latency.count(), 3);
+        assert!((sink.iteration_latency.stats().mean() - 1e-3).abs() < 1e-12);
+        assert!((sink.iteration_latency.stats().min() - 1e-3).abs() < 1e-12);
+        assert!((sink.iteration_latency.stats().max() - 1e-3).abs() < 1e-12);
+        assert!(sink.report().contains("latency_p50="));
+    }
+
+    #[test]
+    fn empty_latency_reports_not_applicable() {
+        let mut sink = MetricsSink::new();
+        sink.on_iteration(iteration_event(1)); // one tick: no interval yet
+        assert!(sink.iteration_latency.is_empty());
+        assert!(sink.report().contains("latency_p50=n/a"));
     }
 
     #[test]

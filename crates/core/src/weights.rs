@@ -332,6 +332,7 @@ impl WeightVector {
     }
 
     fn renormalize(&mut self) {
+        let _span = crate::prof::span(crate::prof::Phase::Normalize);
         self.cdf.clear();
         let sum: f64 = self.p.iter().sum();
         debug_assert!(sum.is_finite() && sum > 0.0, "degenerate weight sum {sum}");
@@ -353,6 +354,7 @@ impl WeightVector {
 /// written to `p` are bit-identical — the scan only skips work whose
 /// results the original discarded on its terminating pass.
 fn water_fill(p: &mut [f64], cap: f64, fixed: &mut Vec<bool>) {
+    let _span = crate::prof::span(crate::prof::Phase::WaterFill);
     let k = p.len();
     fixed.clear();
     fixed.resize(k, false);

@@ -122,4 +122,5 @@ fn main() {
     )
     .expect("write amortization.csv");
     eprintln!("wrote {}", path.display());
+    args.write_profile();
 }

@@ -156,4 +156,5 @@ fn main() {
     )
     .expect("write bandit_baselines.csv");
     eprintln!("wrote {}", path.display());
+    args.write_profile();
 }

@@ -9,10 +9,15 @@
 //!
 //! Flags are the common set (`--replicates`, `--only`, `--fast`, `--out`,
 //! `--seed`, `--quiet`); `--threads N` restricts the sweep to counts ≤ N.
+//! `--profile PATH` additionally resets the phase profiler around each
+//! thread-count sweep and writes a `profile-grid/v1` document with one
+//! merged span report per count — the artifact that attributes where the
+//! scaling curve flattens (see `docs/PERFORMANCE.md`; the committed
+//! `PROFILE_grid.json` at the repo root is produced this way).
 
 use mwu_core::Variant;
 use mwu_datasets::full_catalog;
-use mwu_experiments::{run_cell, CommonArgs, GridConfig};
+use mwu_experiments::{run_cell, BenchMeta, CommonArgs, GridConfig};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -35,9 +40,27 @@ struct TotalTiming {
     speedup_vs_1: f64,
 }
 
+/// One thread-count sweep's merged span report.
+#[derive(Serialize)]
+struct SweepProfile {
+    threads: usize,
+    profile: mwu_core::prof::ProfileReport,
+}
+
+/// The `--profile` artifact: per-thread-count phase attribution.
+#[derive(Serialize)]
+struct ProfileGrid {
+    schema: String,
+    meta: BenchMeta,
+    replicates: usize,
+    datasets: usize,
+    sweeps: Vec<SweepProfile>,
+}
+
 #[derive(Serialize)]
 struct BenchGrid {
     schema: String,
+    meta: BenchMeta,
     pool_threads: usize,
     thread_counts: Vec<usize>,
     replicates: usize,
@@ -79,13 +102,20 @@ fn main() {
         );
     }
 
+    let profiling = args.profile.is_some();
     let mut cells = Vec::new();
     let mut totals = Vec::new();
+    let mut sweep_profiles = Vec::new();
     // Serialized CellResults of the first sweep; later sweeps must match.
     let mut reference: Vec<String> = Vec::new();
     let mut deterministic = true;
     let mut base_ms = None;
     for &threads in &thread_counts {
+        if profiling {
+            // Each sweep gets its own attribution window so the report
+            // shows how phase shares shift as the thread count grows.
+            mwu_core::prof::reset();
+        }
         let sweep_start = Instant::now();
         let mut sweep_results = Vec::new();
         for d in &datasets {
@@ -107,6 +137,12 @@ fn main() {
             }
         }
         let wall_ms = sweep_start.elapsed().as_secs_f64() * 1e3;
+        if profiling {
+            sweep_profiles.push(SweepProfile {
+                threads,
+                profile: mwu_core::prof::snapshot(),
+            });
+        }
         if reference.is_empty() {
             reference = sweep_results;
         } else if reference != sweep_results {
@@ -124,8 +160,10 @@ fn main() {
         }
     }
 
+    let meta = BenchMeta::capture();
     let report = BenchGrid {
         schema: "bench_grid/v1".into(),
+        meta: meta.clone(),
         pool_threads,
         thread_counts,
         replicates: config.replicates,
@@ -143,6 +181,28 @@ fn main() {
     .expect("write BENCH_grid.json");
     if !args.quiet {
         eprintln!("wrote {}", path.display());
+    }
+    // `--profile` gets the per-sweep attribution document instead of the
+    // generic end-of-process report `write_profile` would produce.
+    if let Some(profile_path) = &args.profile {
+        let doc = ProfileGrid {
+            schema: "profile-grid/v1".into(),
+            meta,
+            replicates: config.replicates,
+            datasets: datasets.len(),
+            sweeps: sweep_profiles,
+        };
+        if let Some(parent) = profile_path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).expect("create profile directory");
+            }
+        }
+        let json = serde_json::to_string_pretty(&doc).expect("serialize profile") + "\n";
+        std::fs::write(profile_path, json)
+            .unwrap_or_else(|e| panic!("cannot write profile {}: {e}", profile_path.display()));
+        if !args.quiet {
+            eprintln!("profile grid written to {}", profile_path.display());
+        }
     }
     assert!(
         deterministic,

@@ -51,6 +51,9 @@ struct RoundCell {
 #[derive(Serialize, Deserialize)]
 struct BenchRound {
     schema: String,
+    /// Shared provenance block. `Option` so `--check` still parses
+    /// baselines committed before the block existed.
+    meta: Option<mwu_experiments::BenchMeta>,
     seed: u64,
     fast: bool,
     cells: Vec<RoundCell>,
@@ -225,6 +228,7 @@ fn main() -> ExitCode {
 
     let report = BenchRound {
         schema: "bench_round/v1".into(),
+        meta: Some(mwu_experiments::BenchMeta::capture()),
         seed: args.seed,
         fast: args.fast,
         cells,

@@ -109,6 +109,7 @@ fn run_gossip(
     for t in 0..max_iterations {
         let planned = alg.plan(rng).to_vec();
         obs.clear();
+        let encode_span = mwu_core::prof::span(mwu_core::prof::Phase::GossipEncode);
         for (agent, &arm) in planned.iter().enumerate() {
             let mut reward = bandit.pull(arm, rng);
             if let Some(bad) = plan.corrupt(t, agent) {
@@ -128,6 +129,7 @@ fn run_gossip(
                 }
             }
         }
+        drop(encode_span);
         alg.update_gossip(&obs, gossip, rng);
         check_finite(alg, t, plan);
         if alg.has_converged() {
@@ -189,6 +191,7 @@ fn main() {
     let args = match CommonArgs::parse(rest) {
         Ok(a) => {
             a.apply_parallelism();
+            a.apply_profiling();
             a
         }
         Err(e) => {
@@ -311,4 +314,5 @@ fn main() {
     if !args.quiet {
         eprintln!("wrote {}", path.display());
     }
+    args.write_profile();
 }

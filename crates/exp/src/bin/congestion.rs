@@ -70,4 +70,5 @@ fn main() {
     )
     .expect("write congestion.csv");
     eprintln!("wrote {}", path.display());
+    args.write_profile();
 }

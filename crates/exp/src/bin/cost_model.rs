@@ -123,4 +123,5 @@ fn main() {
     )
     .expect("write cost_model_sweep.csv");
     eprintln!("wrote {} and {}", path.display(), path2.display());
+    args.write_profile();
 }

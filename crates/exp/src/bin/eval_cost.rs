@@ -101,4 +101,5 @@ fn main() {
     )
     .expect("write eval_cost.csv");
     eprintln!("wrote {}", path.display());
+    args.write_profile();
 }

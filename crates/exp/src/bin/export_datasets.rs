@@ -67,4 +67,5 @@ fn main() {
     )
     .expect("write summary");
     eprintln!("wrote {}", path.display());
+    args.write_profile();
 }

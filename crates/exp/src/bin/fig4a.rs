@@ -93,4 +93,5 @@ fn main() {
     )
     .expect("write fig4a.csv");
     eprintln!("wrote {}", path.display());
+    args.write_profile();
 }

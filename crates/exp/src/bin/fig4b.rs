@@ -44,4 +44,5 @@ fn main() {
     let path = write_results_csv(&args.out_dir, "fig4b.csv", &["x", "repair_density"], &csv)
         .expect("write fig4b.csv");
     eprintln!("wrote {}", path.display());
+    args.write_profile();
 }

@@ -36,11 +36,22 @@ struct ServiceCell {
     repaired: usize,
     budget_exhausted: usize,
     rounds: u64,
+    /// Thread-time spent inside `fsync` during this cell, attributed by
+    /// the phase profiler (sums across workers, so it can exceed
+    /// `wall_ms`). `Option` so old baselines still parse.
+    fsync_thread_ms: Option<f64>,
+    /// `wall_ms` minus the wall-clock share of fsync (fsync thread-time
+    /// divided by the cell's thread count) — the compute-side residual
+    /// of the cell. `Option` so old baselines still parse.
+    compute_ms: Option<f64>,
 }
 
 #[derive(Serialize, Deserialize)]
 struct BenchService {
     schema: String,
+    /// Shared provenance block. `Option` so `--check` still parses
+    /// baselines committed before the block existed.
+    meta: Option<mwu_experiments::BenchMeta>,
     sessions: usize,
     tenants: usize,
     slice_iterations: usize,
@@ -226,12 +237,17 @@ fn main() {
         );
     }
 
+    // The profiler attributes each cell's fsync cost. Observational only:
+    // the byte-compare below re-proves traces and reports are unchanged.
+    mwu_core::prof::set_enabled(true);
+
     let batch = generate_batch(sessions, tenants, seed);
     let work_root = out_dir.join("loadgen_work");
     let mut cells = Vec::new();
     let mut reference: Vec<(String, Vec<u8>, Vec<u8>)> = Vec::new();
     let mut deterministic = true;
     for &count in &thread_counts {
+        mwu_core::prof::reset();
         let workdir = work_root.join(format!("t{count}"));
         let _ = std::fs::remove_dir_all(&workdir);
         let mut config = DaemonConfig::new(&workdir);
@@ -251,6 +267,9 @@ fn main() {
             std::process::exit(1);
         });
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let fsync_thread_ms =
+            mwu_core::prof::snapshot().total_ns(mwu_core::prof::Phase::Fsync) as f64 / 1e6;
+        let compute_ms = (wall_ms - fsync_thread_ms / count as f64).max(0.0);
 
         let outputs = collect_outputs(&daemon);
         if reference.is_empty() {
@@ -282,13 +301,19 @@ fn main() {
             repaired: summary.repaired,
             budget_exhausted: summary.budget_exhausted,
             rounds: summary.rounds,
+            fsync_thread_ms: Some(fsync_thread_ms),
+            compute_ms: Some(compute_ms),
         });
         if !quiet {
             let c = cells.last().expect("cell just pushed");
             eprintln!(
-                "  {count} threads: {wall_ms:.0} ms, {:.1} sessions/s, p50 {:.0} ms, p99 {:.0} ms, \
-                 {} completed / {} budget-exhausted",
-                c.sessions_per_sec, c.latency_ms_p50, c.latency_ms_p99, c.completed,
+                "  {count} threads: {wall_ms:.0} ms ({compute_ms:.0} compute + \
+                 {fsync_thread_ms:.0} fsync-thread), {:.1} sessions/s, p50 {:.0} ms, \
+                 p99 {:.0} ms, {} completed / {} budget-exhausted",
+                c.sessions_per_sec,
+                c.latency_ms_p50,
+                c.latency_ms_p99,
+                c.completed,
                 c.budget_exhausted
             );
         }
@@ -297,6 +322,7 @@ fn main() {
 
     let report = BenchService {
         schema: "bench_service/v1".into(),
+        meta: Some(mwu_experiments::BenchMeta::capture()),
         sessions,
         tenants,
         slice_iterations: slice,

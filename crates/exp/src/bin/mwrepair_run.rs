@@ -95,6 +95,7 @@ fn main() {
     let args = match CommonArgs::parse(rest) {
         Ok(a) => {
             a.apply_parallelism();
+            a.apply_profiling();
             a
         }
         Err(e) => {
@@ -225,4 +226,5 @@ fn main() {
             }
         }
     }
+    args.write_profile();
 }

@@ -17,6 +17,10 @@
 //! Flags: `--work DIR` (required), `--jobs FILE|-`, `--slice N` (update
 //! cycles per session per round, default 16), `--halt-after N` (stop after
 //! N rounds, leaving unfinished sessions checkpointed), `--threads N`,
+//! `--trace-segment-bytes N` (rotate each session's trace into size-capped
+//! `trace.NNN.jsonl` segments; concatenation stays byte-identical to the
+//! single-file layout — see `docs/SERVICE.md`), `--profile` (enable the
+//! phase profiler; the span report lands in `<work>/metrics.json`),
 //! `--quiet`. Exit codes: 2 usage, 1 protocol/session/I-O failure.
 //!
 //! Storage-fault injection (docs/FAULTS.md §5): `--fault-rate R` mounts the
@@ -34,8 +38,8 @@ use std::sync::Arc;
 fn usage(msg: &str) -> ! {
     eprintln!(
         "{msg}\nusage: mwrepaird --work DIR [--jobs FILE|-] [--slice N] [--halt-after ROUNDS] \
-         [--threads N] [--quiet] [--fault-rate R] [--fault-class eio|mixed|torn|lies] \
-         [--fault-seed N]"
+         [--threads N] [--trace-segment-bytes N] [--profile] [--quiet] [--fault-rate R] \
+         [--fault-class eio|mixed|torn|lies] [--fault-seed N]"
     );
     std::process::exit(2);
 }
@@ -52,6 +56,8 @@ fn main() {
     let mut halt_after: Option<u64> = None;
     let mut threads: Option<usize> = None;
     let mut quiet = false;
+    let mut trace_segment_bytes: Option<u64> = None;
+    let mut profile = false;
     let mut fault_rate: f64 = 0.0;
     let mut fault_class = String::from("mixed");
     let mut fault_seed: u64 = 0;
@@ -67,6 +73,13 @@ fn main() {
             "--slice" => slice = parse_num("--slice", &take("--slice")),
             "--halt-after" => halt_after = Some(parse_num("--halt-after", &take("--halt-after"))),
             "--threads" => threads = Some(parse_num("--threads", &take("--threads"))),
+            "--trace-segment-bytes" => {
+                trace_segment_bytes = Some(parse_num(
+                    "--trace-segment-bytes",
+                    &take("--trace-segment-bytes"),
+                ))
+            }
+            "--profile" => profile = true,
             "--quiet" => quiet = true,
             "--fault-rate" => fault_rate = parse_num("--fault-rate", &take("--fault-rate")),
             "--fault-class" => fault_class = take("--fault-class"),
@@ -79,10 +92,20 @@ fn main() {
         rayon::set_num_threads(n.max(1));
     }
 
+    if profile {
+        mwu_core::prof::set_enabled(true);
+    }
+
     let mut config = DaemonConfig::new(work);
     config.slice_iterations = slice.max(1);
     config.halt_after_rounds = halt_after;
     config.quiet = quiet;
+    if let Some(cap) = trace_segment_bytes {
+        if cap == 0 {
+            usage("--trace-segment-bytes must be positive");
+        }
+        config.trace_segment_bytes = Some(cap);
+    }
     if !(0.0..=1.0).contains(&fault_rate) {
         usage(&format!("--fault-rate {fault_rate}: must be in [0, 1]"));
     }

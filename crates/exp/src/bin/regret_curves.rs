@@ -115,4 +115,5 @@ fn main() {
     )
     .expect("write regret_curves.csv");
     eprintln!("wrote {}", path.display());
+    args.write_profile();
 }

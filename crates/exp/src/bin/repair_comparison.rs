@@ -251,6 +251,7 @@ fn main() {
     )
     .expect("write repair_comparison.csv");
     eprintln!("wrote {}", path.display());
+    args.write_profile();
 }
 
 fn record(t: &mut AlgRow, repaired: bool, evals: u64, latency: u64) {

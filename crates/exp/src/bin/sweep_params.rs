@@ -194,4 +194,5 @@ fn main() {
     )
     .expect("write sweep_params.csv");
     eprintln!("wrote {}", path.display());
+    args.write_profile();
 }

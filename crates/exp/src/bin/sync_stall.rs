@@ -114,4 +114,5 @@ visible but the free-running efficiency is depressed by time-slicing."
     )
     .expect("write sync_stall.csv");
     eprintln!("wrote {}", path.display());
+    args.write_profile();
 }

@@ -109,4 +109,5 @@ fn main() {
     )
     .expect("write table1.csv");
     eprintln!("wrote {}", path.display());
+    args.write_profile();
 }

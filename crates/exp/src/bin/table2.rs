@@ -95,4 +95,5 @@ fn main() {
     if !args.quiet {
         eprintln!("wrote {}", path.display());
     }
+    args.write_profile();
 }

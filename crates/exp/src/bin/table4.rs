@@ -94,4 +94,5 @@ fn main() {
     if !args.quiet {
         eprintln!("wrote {}", path.display());
     }
+    args.write_profile();
 }

@@ -209,4 +209,5 @@ fn main() {
             eprintln!("wrote {}", path.display());
         }
     }
+    args.write_profile();
 }

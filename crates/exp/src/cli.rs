@@ -36,6 +36,11 @@ pub struct CommonArgs {
     /// `RAYON_NUM_THREADS`, then the hardware parallelism. Output is
     /// byte-identical at every setting; see `docs/PARALLELISM.md`.
     pub threads: Option<usize>,
+    /// Enable the phase profiler and write a `profile/v1` JSON report to
+    /// this path at exit (`--profile PATH`). Profiling is observational
+    /// only: every CSV/trace byte is identical with it on or off; see
+    /// `docs/TELEMETRY.md`.
+    pub profile: Option<PathBuf>,
 }
 
 impl Default for CommonArgs {
@@ -52,6 +57,7 @@ impl Default for CommonArgs {
             resume: None,
             checkpoint_every: 512,
             threads: None,
+            profile: None,
         }
     }
 }
@@ -117,10 +123,15 @@ impl CommonArgs {
                     }
                     out.threads = Some(n);
                 }
+                "--profile" => {
+                    let v = it.next().ok_or("--profile needs a path")?;
+                    out.profile = Some(PathBuf::from(v));
+                }
                 "--help" | "-h" => {
                     return Err("flags: --replicates N | --seed S | --out DIR | --fast | \
                          --only SUBSTR | --trace PATH | --quiet | --checkpoint PATH | \
-                         --resume PATH | --checkpoint-every N | --threads N"
+                         --resume PATH | --checkpoint-every N | --threads N | \
+                         --profile PATH"
                         .into())
                 }
                 other => return Err(format!("unknown flag {other:?} (try --help)")),
@@ -138,12 +149,43 @@ impl CommonArgs {
         match Self::parse(std::env::args().skip(1)) {
             Ok(a) => {
                 a.apply_parallelism();
+                a.apply_profiling();
                 a
             }
             Err(e) => {
                 eprintln!("{e}");
                 std::process::exit(2);
             }
+        }
+    }
+
+    /// Arm the phase profiler when `--profile` was given: enable
+    /// `mwu_core::prof` and bridge the pool/simnet fn-pointer hooks into
+    /// [`mwu_core::prof::record_external`]. Without the flag this is a
+    /// no-op and every instrumented site stays one relaxed atomic load.
+    pub fn apply_profiling(&self) {
+        if self.profile.is_none() {
+            return;
+        }
+        rayon::set_profile_hook(mwu_core::prof::enabled, bridge_pool_event);
+        simnet::set_profile_hook(mwu_core::prof::enabled, bridge_sim_event);
+        mwu_core::prof::set_enabled(true);
+    }
+
+    /// Write the merged `profile/v1` report to the `--profile` path, if
+    /// one was requested. Call once, after the run's last parallel work.
+    pub fn write_profile(&self) {
+        let Some(path) = &self.profile else { return };
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).expect("create profile directory");
+            }
+        }
+        let report = mwu_core::prof::snapshot();
+        std::fs::write(path, report.to_json() + "\n")
+            .unwrap_or_else(|e| panic!("cannot write profile {}: {e}", path.display()));
+        if !self.quiet {
+            eprintln!("profile report written to {}", path.display());
         }
     }
 
@@ -195,6 +237,27 @@ impl CommonArgs {
         });
         mwu_core::trace::Tee(jsonl, mwu_core::ProgressSink::quiet(self.quiet))
     }
+}
+
+/// Map a pool event onto its profiler phase. Runs on the observing
+/// worker thread, so durations land in that thread's accumulator.
+fn bridge_pool_event(event: rayon::PoolEvent, duration_ns: u64) {
+    use mwu_core::prof::Phase;
+    let phase = match event {
+        rayon::PoolEvent::QueueWait => Phase::PoolQueueWait,
+        rayon::PoolEvent::Park => Phase::PoolPark,
+        rayon::PoolEvent::Chunk => Phase::PoolChunk,
+        rayon::PoolEvent::Submit => Phase::PoolSubmit,
+    };
+    mwu_core::prof::record_external(phase, duration_ns);
+}
+
+/// Map a simnet event onto its profiler phase.
+fn bridge_sim_event(event: simnet::SimEvent, duration_ns: u64) {
+    let phase = match event {
+        simnet::SimEvent::RoundBarrier => mwu_core::prof::Phase::SimRoundBarrier,
+    };
+    mwu_core::prof::record_external(phase, duration_ns);
 }
 
 #[cfg(test)]
@@ -259,6 +322,15 @@ mod tests {
         assert!(p(&["--replicates", "zero"]).is_err());
         assert!(p(&["--replicates", "0"]).is_err());
         assert!(p(&["--help"]).is_err());
+    }
+
+    #[test]
+    fn parses_profile() {
+        assert_eq!(p(&[]).unwrap().profile, None);
+        let a = p(&["--profile", "/tmp/prof.json"]).unwrap();
+        assert_eq!(a.profile, Some(PathBuf::from("/tmp/prof.json")));
+        assert!(p(&["--profile"]).is_err());
+        assert!(p(&["--help"]).unwrap_err().contains("--profile"));
     }
 
     #[test]

@@ -29,6 +29,7 @@
 
 pub mod cli;
 pub mod grid;
+pub mod meta;
 pub mod social;
 pub mod tables;
 
@@ -37,4 +38,5 @@ pub use grid::{
     replicate_seed, run_cell, run_cell_observed, run_grid, run_grid_observed, CellResult,
     GridConfig,
 };
+pub use meta::BenchMeta;
 pub use tables::{render_table, write_results_csv};

@@ -198,6 +198,7 @@ impl Checkpoint {
     /// torn write — and once this returns, the rename itself survives a
     /// crash (the directory entry is on disk, not just in the page cache).
     pub fn save_atomic(&self, path: &Path) -> Result<(), CheckpointError> {
+        let _span = mwu_core::prof::span(mwu_core::prof::Phase::CheckpointWrite);
         let tmp = tmp_path(path);
         {
             let mut f = std::fs::File::create(&tmp)?;

@@ -253,6 +253,7 @@ where
             arm: usize,
         }
         let seed = config.seed;
+        let probe_span = mwu_core::prof::span(mwu_core::prof::Phase::ProbeLoop);
         let results: Vec<ProbeResult> = plan
             .par_iter()
             .enumerate()
@@ -286,6 +287,7 @@ where
                 }
             })
             .collect();
+        drop(probe_span);
 
         // The parallel phase's critical path is its slowest probe.
         if let Some(l) = ledger {

@@ -47,8 +47,18 @@ use std::time::Instant;
 /// Schema tag of the summary document [`Daemon::run`] returns.
 pub const SUMMARY_SCHEMA: &str = "mwrepaird-summary/v1";
 
+/// Schema tag of the `metrics.json` exposition document.
+pub const METRICS_SCHEMA: &str = "mwrepaird-metrics/v1";
+
 /// Name of the canonical job spool inside the work directory.
 pub const SPOOL_FILE: &str = "jobs.jsonl";
+
+/// Name of the per-run metrics exposition file inside the work directory.
+///
+/// Unlike traces and reports this file carries wall-clock and is **not**
+/// part of the byte-determinism contract; it is rewritten atomically at
+/// the end of every [`Daemon::run`] and is purely advisory.
+pub const METRICS_FILE: &str = "metrics.json";
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -71,6 +81,12 @@ pub struct DaemonConfig {
     /// Retry policy for transient storage failures (bounded exponential
     /// backoff; exhaustion quarantines the affected session).
     pub retry: RetryPolicy,
+    /// Rotate each session's trace into size-capped `trace.NNN.jsonl`
+    /// segments once the current segment reaches this many bytes. `None`
+    /// keeps the single-file layout. Rotation never splits a slice:
+    /// concatenating the segments in order is byte-identical to the
+    /// single-file trace, whatever the cap.
+    pub trace_segment_bytes: Option<u64>,
 }
 
 impl DaemonConfig {
@@ -84,6 +100,7 @@ impl DaemonConfig {
             quiet: false,
             vfs: Arc::new(RealVfs),
             retry: RetryPolicy::default(),
+            trace_segment_bytes: None,
         }
     }
 }
@@ -199,6 +216,31 @@ impl DaemonSummary {
     }
 }
 
+/// The `metrics.json` exposition document: the run's operational
+/// counters plus (when profiling is enabled) the merged span report.
+///
+/// This is the daemon's one intentionally non-deterministic artifact —
+/// it carries wall-clock and machine-local timings and is excluded from
+/// the byte-determinism contract that covers traces, checkpoints, and
+/// reports.
+#[derive(Debug, Clone, Serialize)]
+pub struct DaemonMetrics {
+    /// Schema tag ([`METRICS_SCHEMA`]).
+    pub schema: String,
+    /// The run's accounting, identical to what [`Daemon::run`] returned.
+    pub summary: DaemonSummary,
+    /// Merged profiling spans, present only when the profiler was
+    /// enabled for this process.
+    pub profile: Option<mwu_core::prof::ProfileReport>,
+}
+
+impl DaemonMetrics {
+    /// Canonical single-line JSON document.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("metrics serialize")
+    }
+}
+
 /// A multi-tenant session-manager daemon over one work directory.
 pub struct Daemon {
     config: DaemonConfig,
@@ -235,6 +277,7 @@ impl Daemon {
         })?;
         let spool = workdir.join(SPOOL_FILE);
         if daemon.config.vfs.exists(&spool) {
+            let _span = mwu_core::prof::span(mwu_core::prof::Phase::SpoolScan);
             let bytes = daemon.spooling(StorageOp::Read, spool, |vfs, p| vfs.read(p))?;
             daemon.submit_bytes(&bytes)?;
         }
@@ -343,12 +386,13 @@ impl Daemon {
         // open_on only errs on invariants caught before touching disk;
         // disk-reconciliation failures are latched inside the runner and
         // quarantined at the first barrier.
-        SessionRunner::open_on(
+        SessionRunner::open_with(
             job,
             data,
             &self.config.workdir,
             Arc::clone(&self.config.vfs),
             self.config.retry,
+            self.config.trace_segment_bytes,
         )
         .map_err(|error| DaemonError::Session {
             job: "<open>".into(),
@@ -438,9 +482,11 @@ impl Daemon {
             rounds += 1;
             // Round barrier: quarantines first, then budgets (which may
             // themselves latch write failures), then latency.
+            let barrier_span = mwu_core::prof::span(mwu_core::prof::Phase::Schedule);
             self.absorb_failures();
             self.enforce_budgets();
             self.absorb_failures();
+            drop(barrier_span);
             let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
             for s in &mut self.sessions {
                 if s.completed_this_run() && s.wall_ms.is_none() {
@@ -476,7 +522,7 @@ impl Daemon {
             }
         }
         let halted_active = self.sessions.iter().filter(|s| s.is_active()).count();
-        Ok(DaemonSummary {
+        let summary = DaemonSummary {
             schema: SUMMARY_SCHEMA.into(),
             sessions: self.sessions.len(),
             completed,
@@ -489,7 +535,26 @@ impl Daemon {
             rounds,
             wall_ms,
             session_wall_ms,
-        })
+        };
+        self.write_metrics(&summary);
+        Ok(summary)
+    }
+
+    /// Atomically (re)write `<workdir>/metrics.json` through the vfs.
+    /// Best-effort by design: exposition must never fail or quarantine a
+    /// run, so storage errors are swallowed (the summary still reaches
+    /// the caller).
+    fn write_metrics(&mut self, summary: &DaemonSummary) {
+        let metrics = DaemonMetrics {
+            schema: METRICS_SCHEMA.into(),
+            summary: summary.clone(),
+            profile: mwu_core::prof::enabled().then(mwu_core::prof::snapshot),
+        };
+        let doc = metrics.to_json() + "\n";
+        let path = self.config.workdir.join(METRICS_FILE);
+        let _ = self.spooling(StorageOp::AtomicWrite, path, |vfs, p| {
+            vfs.write_atomic(p, doc.as_bytes())
+        });
     }
 
     /// Apply tenant budgets at a round barrier: sum every tenant session's

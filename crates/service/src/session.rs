@@ -249,9 +249,26 @@ impl QuarantineRecord {
 struct SessionMeta {
     version: u32,
     job_id: String,
-    /// Bytes of `trace.jsonl` this checkpoint vouches for.
+    /// Logical trace bytes (sum over segments) this checkpoint vouches for.
     trace_len: u64,
+    /// Per-segment durable lengths (segment index — `trace.jsonl`,
+    /// `trace.001.jsonl`, …), present when the session has ever rotated.
+    /// Omitted for single-segment sessions, whose metas stay byte-identical
+    /// to the pre-rotation format; readers then treat `trace_len` as the
+    /// length of segment 0.
+    segments: Option<Vec<u64>>,
     checkpoint: Checkpoint,
+}
+
+impl SessionMeta {
+    /// The durable per-segment lengths this meta vouches for.
+    fn segment_lens(&self) -> Vec<u64> {
+        match &self.segments {
+            Some(s) => s.clone(),
+            None if self.trace_len > 0 => vec![self.trace_len],
+            None => Vec::new(),
+        }
+    }
 }
 
 /// One session under daemon management.
@@ -264,6 +281,14 @@ pub struct SessionRunner {
     vfs: Arc<dyn Vfs>,
     retry: RetryPolicy,
     checkpoint: Option<Checkpoint>,
+    /// Rotate the trace into a new segment once the current one reaches
+    /// this many bytes (`None`: one unbounded `trace.jsonl`, the
+    /// pre-rotation behaviour).
+    segment_cap: Option<u64>,
+    /// Current on-disk length of every trace segment, in segment order.
+    /// The logical trace is their in-order concatenation.
+    segments: Vec<u64>,
+    /// Logical trace bytes (sum of `segments`).
     trace_len: u64,
     /// Trace bytes the last durable `session.json` / `report.json` write
     /// vouches for (`trace_len` may run ahead when a later write failed).
@@ -298,6 +323,24 @@ impl SessionRunner {
         )
     }
 
+    /// [`SessionRunner::open_on`] with trace rotation: once the current
+    /// trace segment reaches `segment_cap` bytes, the next slice's events
+    /// append to a fresh `trace.NNN.jsonl` segment. The in-order
+    /// concatenation of all segments is byte-identical to the single
+    /// `trace.jsonl` an uncapped session writes.
+    pub fn open_with(
+        job: JobSpec,
+        data: Arc<ScenarioData>,
+        workdir: &Path,
+        vfs: Arc<dyn Vfs>,
+        retry: RetryPolicy,
+        segment_cap: Option<u64>,
+    ) -> Result<Self, SessionError> {
+        let mut runner = Self::open_on(job, data, workdir, vfs, retry)?;
+        runner.segment_cap = segment_cap.map(|c| c.max(1));
+        Ok(runner)
+    }
+
     /// Open (or re-open) the session rooted at
     /// `workdir/tenants/<tenant>/<job-id>/` through `vfs`, reconciling any
     /// on-disk state from a previous daemon run: a report means the
@@ -328,6 +371,8 @@ impl SessionRunner {
             vfs,
             retry,
             checkpoint: None,
+            segment_cap: None,
+            segments: Vec::new(),
             trace_len: 0,
             durable_trace_len: 0,
             report: None,
@@ -379,6 +424,20 @@ impl SessionRunner {
             if self.vfs.exists(&stale) {
                 self.retrying(StorageOp::Remove, &stale, |vfs| vfs.remove_file(&stale))?;
             }
+            // Recover segment lengths from disk so `read_trace` sees the
+            // whole rotated trace (the report is written only after every
+            // trace byte landed durably, so on-disk lengths are exact).
+            let mut segs = Vec::new();
+            for i in 0.. {
+                let seg = self.trace_segment_path(i);
+                if !self.vfs.exists(&seg) {
+                    break;
+                }
+                segs.push(self.retrying(StorageOp::Len, &seg, |vfs| vfs.file_len(&seg))?);
+            }
+            self.trace_len = segs.iter().sum();
+            self.durable_trace_len = self.trace_len;
+            self.segments = segs;
             return Ok(());
         }
 
@@ -392,7 +451,6 @@ impl SessionRunner {
             })?;
         }
 
-        let trace = self.trace_path();
         if self.vfs.exists(&self.meta_path()) {
             let path = self.meta_path();
             let bytes = self.retrying(StorageOp::Read, &path, |vfs| vfs.read(&path))?;
@@ -411,28 +469,61 @@ impl SessionRunner {
                     meta.job_id, self.job.id
                 )));
             }
-            let on_disk = self.retrying(StorageOp::Len, &trace, |vfs| vfs.file_len(&trace))?;
-            if on_disk < meta.trace_len {
+            let durable = meta.segment_lens();
+            if durable.iter().sum::<u64>() != meta.trace_len {
                 return Err(SessionError::Corrupt(format!(
-                    "trace.jsonl is {on_disk} bytes but session.json recorded {}",
-                    meta.trace_len
+                    "session.json segment lengths {:?} do not sum to trace_len {}",
+                    durable, meta.trace_len
                 )));
             }
-            // Drop any bytes a torn slice appended after the last durable
-            // meta write; the re-run slice re-appends them identically.
-            let len = meta.trace_len;
-            self.retrying(StorageOp::Truncate, &trace, |vfs| {
-                vfs.truncate_sync(&trace, len)
-            })?;
+            // Per segment: drop any bytes a torn slice appended after the
+            // last durable meta write; the re-run slice re-appends them
+            // identically. Segments past the durable index are wholly
+            // torn (rotation raced the crash) and are deleted outright.
+            for (i, &len) in durable.iter().enumerate() {
+                let seg = self.trace_segment_path(i);
+                let on_disk = self.retrying(StorageOp::Len, &seg, |vfs| vfs.file_len(&seg))?;
+                if on_disk < len {
+                    return Err(SessionError::Corrupt(format!(
+                        "{} is {on_disk} bytes but session.json recorded {len}",
+                        seg.display()
+                    )));
+                }
+                self.retrying(StorageOp::Truncate, &seg, |vfs| {
+                    vfs.truncate_sync(&seg, len)
+                })?;
+            }
+            self.remove_segments_from(durable.len().max(1))?;
+            if durable.is_empty() {
+                // A zero-length durable trace still pins segment 0 empty.
+                let seg = self.trace_path();
+                self.retrying(StorageOp::Truncate, &seg, |vfs| vfs.truncate_sync(&seg, 0))?;
+            }
+            self.segments = durable;
             self.trace_len = meta.trace_len;
             self.durable_trace_len = meta.trace_len;
             self.checkpoint = Some(meta.checkpoint);
         } else {
             // Fresh session (or a crash before the first meta write):
-            // the trace restarts from byte zero.
+            // the trace restarts from byte zero, with no stray segments.
+            let trace = self.trace_path();
             self.retrying(StorageOp::Truncate, &trace, |vfs| {
                 vfs.truncate_sync(&trace, 0)
             })?;
+            self.remove_segments_from(1)?;
+        }
+        Ok(())
+    }
+
+    /// Delete every on-disk trace segment with index ≥ `from` (segments
+    /// are created in order, so stop at the first gap).
+    fn remove_segments_from(&mut self, from: usize) -> Result<(), SessionError> {
+        for i in from.max(1).. {
+            let seg = self.trace_segment_path(i);
+            if !self.vfs.exists(&seg) {
+                break;
+            }
+            self.retrying(StorageOp::Remove, &seg, |vfs| vfs.remove_file(&seg))?;
         }
         Ok(())
     }
@@ -531,6 +622,7 @@ impl SessionRunner {
         if !self.is_active() {
             return;
         }
+        let _span = mwu_core::prof::span(mwu_core::prof::Phase::SliceRun);
         if let Err(e) = self.try_slice(slice_iterations.max(1)) {
             self.error = Some(e);
         }
@@ -657,11 +749,15 @@ impl SessionRunner {
                     version: META_VERSION,
                     job_id: self.job.id.clone(),
                     trace_len: self.trace_len,
+                    // Single-segment sessions omit the list so their metas
+                    // stay byte-identical to the pre-rotation format.
+                    segments: (self.segments.len() > 1).then(|| self.segments.clone()),
                     checkpoint: *checkpoint,
                 };
                 let mut doc = serde_json::to_string(&meta).expect("meta serializes");
                 doc.push('\n');
                 let path = self.meta_path();
+                let _span = mwu_core::prof::span(mwu_core::prof::Phase::SessionReplace);
                 self.retrying(StorageOp::AtomicWrite, &path, |vfs| {
                     vfs.write_atomic(&path, doc.as_bytes())
                 })?;
@@ -713,9 +809,44 @@ impl SessionRunner {
         Ok(())
     }
 
-    /// Path of the session's JSONL trace.
+    /// Path of the session's JSONL trace — segment 0. Rotated sessions
+    /// continue in the numbered segments of [`SessionRunner::trace_segment_path`].
     pub fn trace_path(&self) -> PathBuf {
         self.dir.join("trace.jsonl")
+    }
+
+    /// Path of trace segment `i`: segment 0 is `trace.jsonl` (so uncapped
+    /// sessions are laid out exactly as before rotation existed), later
+    /// segments are `trace.001.jsonl`, `trace.002.jsonl`, …
+    pub fn trace_segment_path(&self, i: usize) -> PathBuf {
+        if i == 0 {
+            self.trace_path()
+        } else {
+            self.dir.join(format!("trace.{i:03}.jsonl"))
+        }
+    }
+
+    /// Paths of every trace segment the session currently has bytes in,
+    /// in concatenation order.
+    pub fn trace_segment_paths(&self) -> Vec<PathBuf> {
+        (0..self.segments.len().max(1))
+            .map(|i| self.trace_segment_path(i))
+            .collect()
+    }
+
+    /// Read the logical trace: the in-order concatenation of all segments.
+    /// Byte-identical to the single `trace.jsonl` of an uncapped run.
+    pub fn read_trace(&mut self) -> Result<Vec<u8>, SessionError> {
+        let mut out = Vec::new();
+        for i in 0..self.segments.len().max(1) {
+            let seg = self.trace_segment_path(i);
+            if !self.vfs.exists(&seg) {
+                continue;
+            }
+            let bytes = self.retrying(StorageOp::Read, &seg, |vfs| vfs.read(&seg))?;
+            out.extend_from_slice(&bytes);
+        }
+        Ok(out)
     }
 
     /// Path of the session's durable report.
@@ -736,8 +867,25 @@ impl SessionRunner {
         if bytes.is_empty() {
             return Ok(());
         }
-        let path = self.trace_path();
-        let expect = self.trace_len;
+        let _span = mwu_core::prof::span(mwu_core::prof::Phase::TraceAppend);
+        // Rotation rule: a slice's bytes land wholly in the current (last)
+        // segment; once a segment has reached the cap, the *next* append
+        // opens a fresh one. Boundaries are therefore a pure function of
+        // the durable per-segment lengths — a resumed session re-derives
+        // them identically from `session.json`.
+        if self.segments.is_empty() {
+            self.segments.push(0);
+        }
+        let last = self.segments.len() - 1;
+        let target = match self.segment_cap {
+            Some(cap) if self.segments[last] >= cap => {
+                self.segments.push(0);
+                last + 1
+            }
+            _ => last,
+        };
+        let path = self.trace_segment_path(target);
+        let expect = self.segments[target];
         let mut first = true;
         self.retrying(StorageOp::Append, &path, |vfs| {
             // A failed attempt may have persisted a torn prefix; restore
@@ -750,6 +898,7 @@ impl SessionRunner {
             first = false;
             vfs.append_sync(&path, bytes)
         })?;
+        self.segments[target] += bytes.len() as u64;
         self.trace_len += bytes.len() as u64;
         Ok(())
     }
@@ -1072,5 +1221,202 @@ mod tests {
         assert_eq!(report, reference_report);
         std::fs::remove_dir_all(&workdir).unwrap();
         std::fs::remove_dir_all(&clean).unwrap();
+    }
+
+    /// Drive an `open_with`-rotated session to completion; returns the
+    /// logical trace, the report, and the number of segments on disk.
+    fn run_rotated_to_completion(
+        workdir: &Path,
+        job: &JobSpec,
+        slice: usize,
+        cap: u64,
+    ) -> (Vec<u8>, String, usize) {
+        let data = data_for(job);
+        let mut s = SessionRunner::open_with(
+            job.clone(),
+            data,
+            workdir,
+            Arc::new(RealVfs),
+            RetryPolicy::default(),
+            Some(cap),
+        )
+        .unwrap();
+        for _ in 0..1000 {
+            if !s.is_active() {
+                break;
+            }
+            s.run_slice(slice);
+            if let Some(e) = s.take_error() {
+                panic!("slice error: {e}");
+            }
+        }
+        assert!(s.report().is_some(), "rotated session did not finish");
+        let segments = s.trace_segment_paths().len();
+        let trace = s.read_trace().unwrap();
+        let report = std::fs::read_to_string(s.report_path()).unwrap();
+        (trace, report, segments)
+    }
+
+    #[test]
+    fn rotated_segments_concatenate_to_uncapped_trace() {
+        let job = test_job("rot-concat");
+        let ref_dir = tmp_workdir("rot-concat-ref");
+        let (reference_trace, reference_report) = run_to_completion(&ref_dir, &job, 3);
+
+        let workdir = tmp_workdir("rot-concat");
+        let (trace, report, segments) = run_rotated_to_completion(&workdir, &job, 3, 200);
+        assert!(
+            segments >= 2,
+            "a 200-byte cap must rotate this trace ({} bytes)",
+            reference_trace.len()
+        );
+        assert_eq!(
+            trace, reference_trace,
+            "segment concatenation differs from the uncapped trace"
+        );
+        assert_eq!(report, reference_report);
+        std::fs::remove_dir_all(&ref_dir).unwrap();
+        std::fs::remove_dir_all(&workdir).unwrap();
+    }
+
+    #[test]
+    fn uncapped_sessions_keep_the_single_file_layout() {
+        // No cap => exactly the pre-rotation on-disk shape: one
+        // trace.jsonl and no numbered segments.
+        let job = test_job("rot-uncapped");
+        let workdir = tmp_workdir("rot-uncapped");
+        let _ = run_to_completion(&workdir, &job, 3);
+        let dir = workdir.join("tenants").join(&job.tenant).join(&job.id);
+        assert!(dir.join("trace.jsonl").exists());
+        assert!(!dir.join("trace.001.jsonl").exists());
+        std::fs::remove_dir_all(&workdir).unwrap();
+    }
+
+    #[test]
+    fn rotation_kill_resume_rederives_boundaries() {
+        let job = test_job("rot-resume");
+        let ref_dir = tmp_workdir("rot-resume-ref");
+        let (reference_trace, reference_report) = run_to_completion(&ref_dir, &job, 3);
+
+        let workdir = tmp_workdir("rot-resume");
+        let data = data_for(&job);
+        let open = |cap: u64| {
+            SessionRunner::open_with(
+                job.clone(),
+                Arc::clone(&data),
+                &workdir,
+                Arc::new(RealVfs),
+                RetryPolicy::default(),
+                Some(cap),
+            )
+            .unwrap()
+        };
+        // Two slices under a tiny cap, then drop mid-flight (daemon death).
+        let last_segment = {
+            let mut s = open(150);
+            s.run_slice(3);
+            s.run_slice(3);
+            assert!(s.is_active());
+            assert!(
+                s.trace_segment_paths().len() >= 2,
+                "kill must land after at least one rotation"
+            );
+            s.trace_segment_paths().last().unwrap().clone()
+        };
+        // Torn append past the durable boundary of the *last* segment.
+        {
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&last_segment)
+                .unwrap();
+            f.write_all(b"{\"Iteration\":{\"torn").unwrap();
+        }
+        // Resume under a *different* cap: boundaries of existing segments
+        // are re-derived from the durable lengths, new bytes follow the
+        // new cap, and the logical concatenation still matches.
+        let mut s = open(400);
+        while s.is_active() {
+            s.run_slice(3);
+            assert!(s.take_error().is_none());
+        }
+        assert_eq!(s.read_trace().unwrap(), reference_trace);
+        assert_eq!(
+            std::fs::read_to_string(s.report_path()).unwrap(),
+            reference_report
+        );
+        std::fs::remove_dir_all(&ref_dir).unwrap();
+        std::fs::remove_dir_all(&workdir).unwrap();
+    }
+
+    #[test]
+    fn completed_rotated_session_reopens_with_full_trace() {
+        let job = test_job("rot-done");
+        let ref_dir = tmp_workdir("rot-done-ref");
+        let (reference_trace, _) = run_to_completion(&ref_dir, &job, 3);
+
+        let workdir = tmp_workdir("rot-done");
+        let _ = run_rotated_to_completion(&workdir, &job, 3, 200);
+        // A fresh daemon reopening the finished session must recover the
+        // segment list from disk (the meta is gone once the report lands).
+        let mut s = SessionRunner::open_with(
+            job.clone(),
+            data_for(&job),
+            &workdir,
+            Arc::new(RealVfs),
+            RetryPolicy::default(),
+            Some(200),
+        )
+        .unwrap();
+        assert!(!s.is_active(), "completed session stays terminal");
+        assert_eq!(s.read_trace().unwrap(), reference_trace);
+        std::fs::remove_dir_all(&ref_dir).unwrap();
+        std::fs::remove_dir_all(&workdir).unwrap();
+    }
+
+    #[test]
+    fn rotation_under_transient_faults_is_byte_identical() {
+        let job = test_job("rot-faults");
+        let ref_dir = tmp_workdir("rot-faults-ref");
+        let (reference_trace, reference_report) = run_to_completion(&ref_dir, &job, 2);
+
+        let workdir = tmp_workdir("rot-faults");
+        // 30% per-op EIO with generous retries: every op eventually
+        // lands, and rotation must not care that it took retries.
+        let plan = StorageFaultPlan::new(97, StorageFaultConfig::eio(0.3));
+        let vfs = Arc::new(FaultVfs::rooted(plan, &workdir));
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            base_delay: 1,
+        };
+        let mut s = SessionRunner::open_with(
+            job.clone(),
+            data_for(&job),
+            &workdir,
+            vfs,
+            policy,
+            Some(180),
+        )
+        .unwrap();
+        for _ in 0..1000 {
+            if !s.is_active() {
+                break;
+            }
+            s.run_slice(2);
+            if let Some(e) = s.take_error() {
+                panic!("retries should absorb this schedule: {e}");
+            }
+        }
+        assert!(s.report().is_some());
+        assert!(
+            s.trace_segment_paths().len() >= 2,
+            "cap must force rotation under faults too"
+        );
+        assert_eq!(s.read_trace().unwrap(), reference_trace);
+        assert_eq!(
+            std::fs::read_to_string(s.report_path()).unwrap(),
+            reference_report
+        );
+        std::fs::remove_dir_all(&ref_dir).unwrap();
+        std::fs::remove_dir_all(&workdir).unwrap();
     }
 }

@@ -150,6 +150,7 @@ impl Vfs for RealVfs {
             .create(true)
             .open(path)?;
         f.write_all(bytes)?;
+        let _span = mwu_core::prof::span(mwu_core::prof::Phase::Fsync);
         f.sync_all()
     }
 
@@ -160,6 +161,7 @@ impl Vfs for RealVfs {
             .truncate(false)
             .open(path)?;
         f.set_len(len)?;
+        let _span = mwu_core::prof::span(mwu_core::prof::Phase::Fsync);
         f.sync_all()
     }
 
@@ -176,9 +178,11 @@ impl Vfs for RealVfs {
         {
             let mut f = std::fs::File::create(&tmp)?;
             f.write_all(bytes)?;
+            let _span = mwu_core::prof::span(mwu_core::prof::Phase::Fsync);
             f.sync_all()?;
         }
         std::fs::rename(&tmp, path)?;
+        let _span = mwu_core::prof::span(mwu_core::prof::Phase::Fsync);
         sync_parent_dir(path)
     }
 

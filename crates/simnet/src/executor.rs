@@ -15,6 +15,7 @@
 //! bench regenerate the §III-C numbers with this.
 
 use crate::faults::FaultPlan;
+use crate::profhook::{self, SimEvent};
 use crossbeam::thread;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -235,7 +236,14 @@ impl ThreadPool {
                             series.push(d);
                         }
                         if mode == SyncMode::Barrier {
+                            let wait_t0 = profhook::active().then(Instant::now);
                             barrier.wait();
+                            if let Some(t0) = wait_t0 {
+                                profhook::emit(
+                                    SimEvent::RoundBarrier,
+                                    t0.elapsed().as_nanos() as u64,
+                                );
+                            }
                         }
                     }
                     *busy_total.lock() += busy;

@@ -38,6 +38,7 @@ pub mod congestion;
 pub mod executor;
 pub mod faults;
 pub mod network;
+pub mod profhook;
 pub mod stats;
 pub mod topology;
 
@@ -48,5 +49,6 @@ pub use executor::{
 };
 pub use faults::{FaultConfig, FaultPlan, FaultRoundStats, MessageFate, RetryPolicy};
 pub use network::Network;
+pub use profhook::{set_hook as set_profile_hook, SimEvent};
 pub use stats::{NetStats, RoundStats};
 pub use topology::Topology;

@@ -1,0 +1,54 @@
+//! Fn-pointer profiling hook for the simulated-network layer.
+//!
+//! `simnet` does not depend on `mwu-core`, so it cannot open
+//! `mwu_core::prof` spans itself. Like the vendored pool's
+//! `rayon::profile`, it reports leaf durations through a process-global
+//! hook installed once by the composing layer (the experiment harness binds
+//! [`set_hook`] to `mwu_core::prof::record_external` behind `--profile`).
+//!
+//! With no hook installed — or an installed hook whose `is_active` gate
+//! returns false — every instrumented site pays one relaxed atomic load and
+//! reads no clock.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+/// Simnet activity reported through the hook.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimEvent {
+    /// One thread's wait at the end-of-round barrier
+    /// ([`crate::executor::SyncMode::Barrier`]).
+    RoundBarrier,
+}
+
+struct Hook {
+    is_active: fn() -> bool,
+    sink: fn(SimEvent, u64),
+}
+
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+static HOOK: OnceLock<Hook> = OnceLock::new();
+
+/// Install the process-wide profiling hook. First call wins; later calls
+/// are ignored.
+pub fn set_hook(is_active: fn() -> bool, sink: fn(SimEvent, u64)) {
+    if HOOK.set(Hook { is_active, sink }).is_ok() {
+        INSTALLED.store(true, Ordering::Release);
+    }
+}
+
+/// Is a hook installed *and* currently active? One relaxed load on the
+/// common (inactive) path.
+#[inline]
+pub(crate) fn active() -> bool {
+    INSTALLED.load(Ordering::Relaxed) && (HOOK.get().expect("installed").is_active)()
+}
+
+/// Report one event. Callers must have checked [`active`] first so clock
+/// reads stay behind the gate.
+#[inline]
+pub(crate) fn emit(event: SimEvent, duration_ns: u64) {
+    if let Some(hook) = HOOK.get() {
+        (hook.sink)(event, duration_ns);
+    }
+}

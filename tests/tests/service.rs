@@ -434,3 +434,260 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Trace rotation: size-capped segments, crash-safe, concat-identical.
+// ---------------------------------------------------------------------------
+
+/// Run a daemon with trace rotation at `cap` bytes per segment.
+fn run_daemon_rotated(
+    workdir: &Path,
+    bytes: &[u8],
+    slice: usize,
+    halt_after_rounds: Option<u64>,
+    threads: usize,
+    cap: u64,
+) -> DaemonSummary {
+    let mut config = DaemonConfig::new(workdir);
+    config.slice_iterations = slice;
+    config.halt_after_rounds = halt_after_rounds;
+    config.quiet = true;
+    config.trace_segment_bytes = Some(cap);
+    let mut daemon = Daemon::open(config).expect("open daemon");
+    daemon.submit_bytes(bytes).expect("submit batch");
+    rayon::with_max_threads(threads, || daemon.run()).expect("daemon run")
+}
+
+/// Resume a rotated daemon purely from its spool.
+fn resume_daemon_rotated(
+    workdir: &Path,
+    slice: usize,
+    halt_after_rounds: Option<u64>,
+    threads: usize,
+    cap: u64,
+) -> DaemonSummary {
+    let mut config = DaemonConfig::new(workdir);
+    config.slice_iterations = slice;
+    config.halt_after_rounds = halt_after_rounds;
+    config.quiet = true;
+    config.trace_segment_bytes = Some(cap);
+    let mut daemon = Daemon::open(config).expect("reopen daemon");
+    rayon::with_max_threads(threads, || daemon.run()).expect("daemon run")
+}
+
+/// The logical trace of a possibly-rotated session: `trace.jsonl`
+/// followed by `trace.001.jsonl`, `trace.002.jsonl`, ... in order.
+fn concat_trace(workdir: &Path, tenant: &str, id: &str) -> Vec<u8> {
+    let dir = workdir.join("tenants").join(tenant).join(id);
+    let mut out = std::fs::read(dir.join("trace.jsonl")).unwrap_or_default();
+    for i in 1usize.. {
+        match std::fs::read(dir.join(format!("trace.{i:03}.jsonl"))) {
+            Ok(seg) => out.extend_from_slice(&seg),
+            Err(_) => break,
+        }
+    }
+    out
+}
+
+/// Number of trace segments a session has on disk.
+fn segment_count(workdir: &Path, tenant: &str, id: &str) -> usize {
+    let dir = workdir.join("tenants").join(tenant).join(id);
+    let mut n = usize::from(dir.join("trace.jsonl").exists());
+    for i in 1usize.. {
+        if dir.join(format!("trace.{i:03}.jsonl")).exists() {
+            n += 1;
+        } else {
+            break;
+        }
+    }
+    n
+}
+
+#[test]
+fn rotated_segments_concat_identical_across_thread_counts() {
+    ensure_pool();
+    const SLICE: usize = 3;
+    let jobs: Vec<JobSpec> = (0..6u64)
+        .map(|i| {
+            let mut j = job(&format!("rot-job-{i}"), &format!("rot-t{}", i % 3), 70 + i);
+            j.max_iterations = 10 + (i as usize % 5);
+            j
+        })
+        .collect();
+    let bytes = batch(&jobs, &[]);
+
+    // Uncapped reference: single-file traces.
+    let ref_dir = tmp_dir("rotd-ref");
+    run_daemon(&ref_dir, &bytes, SLICE, None, 8);
+
+    for threads in [1usize, 4, 8] {
+        let dir = tmp_dir(&format!("rotd-{threads}"));
+        let summary = run_daemon_rotated(&dir, &bytes, SLICE, None, threads, 256);
+        assert_eq!(summary.completed, jobs.len());
+        let mut rotated_somewhere = false;
+        for j in &jobs {
+            let reference = session_bytes(&ref_dir, &j.tenant, &j.id);
+            let got_trace = concat_trace(&dir, &j.tenant, &j.id);
+            let got_report = std::fs::read(
+                dir.join("tenants")
+                    .join(&j.tenant)
+                    .join(&j.id)
+                    .join("report.json"),
+            )
+            .expect("report.json");
+            assert_eq!(
+                got_trace, reference.0,
+                "rotated concat of {} differs from single-file trace at {threads} threads",
+                j.id
+            );
+            assert_eq!(got_report, reference.1);
+            rotated_somewhere |= segment_count(&dir, &j.tenant, &j.id) >= 2;
+        }
+        assert!(
+            rotated_somewhere,
+            "a 256-byte cap must actually rotate at {threads} threads"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    std::fs::remove_dir_all(&ref_dir).unwrap();
+}
+
+#[test]
+fn kill_resume_across_rotation_boundaries_is_byte_identical() {
+    ensure_pool();
+    const SLICE: usize = 3;
+    const CAP: u64 = 200;
+    let jobs: Vec<JobSpec> = (0..8u64)
+        .map(|i| {
+            let mut j = job(&format!("rk-job-{i}"), &format!("rk-t{}", i % 4), 80 + i);
+            j.max_iterations = 12;
+            j
+        })
+        .collect();
+    let bytes = batch(&jobs, &[]);
+
+    let ref_dir = tmp_dir("rotk-ref");
+    run_daemon(&ref_dir, &bytes, SLICE, None, 8);
+
+    // Halt after every round, resuming each time from a fresh daemon, so
+    // kills land before, on, and after segment boundaries; the final
+    // resume runs a different thread count and a different cap.
+    let dir = tmp_dir("rotk");
+    let mut summary = run_daemon_rotated(&dir, &bytes, SLICE, Some(1), 8, CAP);
+    let mut lifetimes = 1;
+    while summary.halted_active > 0 {
+        // Torn tail on some mid-flight session's *last* segment.
+        if lifetimes == 2 {
+            use std::io::Write;
+            let victim = dir.join("tenants").join("rk-t0").join("rk-job-0");
+            let last = (0usize..)
+                .take_while(|i| {
+                    victim
+                        .join(if *i == 0 {
+                            "trace.jsonl".to_string()
+                        } else {
+                            format!("trace.{i:03}.jsonl")
+                        })
+                        .exists()
+                })
+                .last()
+                .unwrap();
+            let path = victim.join(if last == 0 {
+                "trace.jsonl".to_string()
+            } else {
+                format!("trace.{last:03}.jsonl")
+            });
+            let mut f = std::fs::OpenOptions::new().append(true).open(path).unwrap();
+            f.write_all(b"{\"Iteration\":{\"tor").unwrap();
+        }
+        let (threads, cap) = if lifetimes % 2 == 0 {
+            (4, CAP)
+        } else {
+            (1, 3 * CAP)
+        };
+        summary = resume_daemon_rotated(&dir, SLICE, Some(1), threads, cap);
+        lifetimes += 1;
+        assert!(lifetimes < 64, "runaway resume loop");
+    }
+    assert!(lifetimes >= 3, "want several kill/resume lifetimes");
+
+    for j in &jobs {
+        let reference = session_bytes(&ref_dir, &j.tenant, &j.id);
+        assert_eq!(
+            concat_trace(&dir, &j.tenant, &j.id),
+            reference.0,
+            "kill/resume across rotation boundaries changed bytes of {}",
+            j.id
+        );
+    }
+    std::fs::remove_dir_all(&ref_dir).unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn profiling_on_vs_off_leaves_every_byte_identical() {
+    ensure_pool();
+    const SLICE: usize = 4;
+    let jobs = [job("prof-a", "pt", 91), job("prof-b", "pt", 92)];
+    let bytes = batch(&jobs, &[]);
+
+    let off_dir = tmp_dir("prof-off");
+    run_daemon(&off_dir, &bytes, SLICE, None, 8);
+
+    mwu_core::prof::set_enabled(true);
+    let on_dir = tmp_dir("prof-on");
+    run_daemon(&on_dir, &bytes, SLICE, None, 8);
+    mwu_core::prof::set_enabled(false);
+
+    for j in &jobs {
+        assert_eq!(
+            session_bytes(&off_dir, &j.tenant, &j.id),
+            session_bytes(&on_dir, &j.tenant, &j.id),
+            "profiling changed artifact bytes of {}",
+            j.id
+        );
+    }
+    std::fs::remove_dir_all(&off_dir).unwrap();
+    std::fs::remove_dir_all(&on_dir).unwrap();
+}
+
+static ROTATION_PROP_REFERENCE: std::sync::OnceLock<(Vec<u8>, Vec<u8>)> =
+    std::sync::OnceLock::new();
+
+/// Uncapped single-session reference bytes for the rotation property.
+fn rotation_reference() -> &'static (Vec<u8>, Vec<u8>) {
+    ROTATION_PROP_REFERENCE.get_or_init(|| {
+        ensure_pool();
+        let dir = tmp_dir("rotp-ref");
+        run_daemon(&dir, &batch(&[job("rp", "rpt", 77)], &[]), 3, None, 1);
+        let bytes = session_bytes(&dir, "rpt", "rp");
+        let _ = std::fs::remove_dir_all(&dir);
+        bytes
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // Any positive segment cap yields segments whose in-order
+    // concatenation is byte-identical to the uninterrupted single-file
+    // trace (caps smaller than one slice's bytes degenerate to
+    // one-slice-per-segment; huge caps degenerate to no rotation).
+    #[test]
+    fn any_segment_cap_concats_to_uninterrupted_trace(cap in 1u64..4096) {
+        ensure_pool();
+        let (ref_trace, ref_report) = rotation_reference();
+        let dir = tmp_dir(&format!("rotp-{cap}"));
+        let summary =
+            run_daemon_rotated(&dir, &batch(&[job("rp", "rpt", 77)], &[]), 3, None, 4, cap);
+        prop_assert_eq!(summary.completed, 1);
+        let trace = concat_trace(&dir, "rpt", "rp");
+        let report = std::fs::read(
+            dir.join("tenants").join("rpt").join("rp").join("report.json"),
+        )
+        .expect("report.json");
+        prop_assert_eq!(&trace, ref_trace, "cap {} broke concat identity", cap);
+        prop_assert_eq!(&report, ref_report);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

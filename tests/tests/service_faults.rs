@@ -614,3 +614,104 @@ proptest! {
         let _ = std::fs::remove_dir_all(&workdir);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Trace rotation under a hostile disk: kill mid-rotation, heal, resume —
+// segment concat stays byte-identical to the fault-free single-file trace.
+// ---------------------------------------------------------------------------
+
+/// One daemon lifetime with trace rotation at `cap` bytes per segment.
+fn run_rotated_on(
+    workdir: &Path,
+    bytes: &[u8],
+    vfs: Arc<dyn Vfs>,
+    threads: usize,
+    cap: u64,
+    halt_after_rounds: Option<u64>,
+) -> DaemonSummary {
+    let mut config = DaemonConfig::new(workdir);
+    config.slice_iterations = 2;
+    config.quiet = true;
+    config.vfs = vfs;
+    config.trace_segment_bytes = Some(cap);
+    config.halt_after_rounds = halt_after_rounds;
+    // Transient-fault recipe: enough attempts that an eio(0.3) schedule
+    // cannot permanently exhaust a session's retries.
+    config.retry = simnet::faults::RetryPolicy {
+        max_attempts: 10,
+        base_delay: 1,
+    };
+    let mut daemon = Daemon::open(config).expect("open daemon");
+    daemon.submit_bytes(bytes).expect("submit batch");
+    rayon::with_max_threads(threads, || daemon.run()).expect("daemon run")
+}
+
+/// In-order concatenation of a session's rotated trace segments.
+fn concat_trace(workdir: &Path, tenant: &str, id: &str) -> Vec<u8> {
+    let dir = session_dir(workdir, tenant, id);
+    let mut out = std::fs::read(dir.join("trace.jsonl")).unwrap_or_default();
+    for i in 1usize.. {
+        match std::fs::read(dir.join(format!("trace.{i:03}.jsonl"))) {
+            Ok(seg) => out.extend_from_slice(&seg),
+            Err(_) => break,
+        }
+    }
+    out
+}
+
+#[test]
+fn rotation_survives_kill_and_faults_across_threads() {
+    ensure_pool();
+    const CAP: u64 = 180;
+    let ref_dir = tmp_dir("rotf-ref");
+    run_daemon_on(&ref_dir, &batch(&fleet_jobs(), &[]), Arc::new(RealVfs), 1).expect("reference");
+
+    for threads in [1usize, 4, 8] {
+        let workdir = tmp_dir(&format!("rotf-{threads}"));
+        // Lifetime 1: rotate under transient injected EIO, killed after
+        // two rounds so sessions stop mid-rotation.
+        let plan = StorageFaultPlan::new(97, StorageFaultConfig::eio(0.3));
+        let summary = run_rotated_on(
+            &workdir,
+            &batch(&fleet_jobs(), &[]),
+            Arc::new(FaultVfs::rooted(plan, &workdir)),
+            threads,
+            CAP,
+            Some(2),
+        );
+        assert!(
+            summary.io_faults_injected > 0,
+            "adversary must actually fire (threads={threads})"
+        );
+        assert!(summary.halted_active > 0, "kill must land mid-flight");
+        // Lifetime 2: the disk heals; resume re-derives segment
+        // boundaries from durable lengths and finishes everything.
+        let summary = run_rotated_on(&workdir, &[], Arc::new(RealVfs), threads, CAP, None);
+        assert_eq!(summary.completed, FLEET.len());
+        assert_eq!(summary.sessions_quarantined, 0);
+
+        let mut rotated_somewhere = false;
+        for (id, tenant, _) in &FLEET {
+            let (ref_trace, ref_report) = session_bytes(&ref_dir, tenant, id);
+            assert_eq!(
+                concat_trace(&workdir, tenant, id),
+                ref_trace,
+                "rotated+faulted {id} concat differs at {threads} threads"
+            );
+            assert_eq!(
+                std::fs::read(session_dir(&workdir, tenant, id).join("report.json"))
+                    .expect("report.json"),
+                ref_report
+            );
+            rotated_somewhere |= session_dir(&workdir, tenant, id)
+                .join("trace.001.jsonl")
+                .exists();
+        }
+        assert!(
+            rotated_somewhere,
+            "a {CAP}-byte cap must actually rotate (threads={threads})"
+        );
+        let _ = std::fs::remove_dir_all(&workdir);
+    }
+    let _ = std::fs::remove_dir_all(&ref_dir);
+}

@@ -36,8 +36,10 @@
 //!   items not yet processed are leaked rather than dropped.
 
 mod pool;
+pub mod profile;
 
 pub use pool::{current_num_threads, set_num_threads, with_max_threads};
+pub use profile::{set_hook as set_profile_hook, PoolEvent};
 
 /// A parallel pipeline over an eagerly-collected item vector: each source
 /// item of type `T` flows through a fused transform producing `Option<U>`

@@ -36,11 +36,13 @@
 //! retired — so borrowed closures never outlive the call, even on panic.
 //! Items not yet processed when a panic strikes are leaked, not dropped.
 
+use crate::profile::{self, PoolEvent};
 use std::any::Any;
 use std::cell::Cell;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering::SeqCst};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::SeqCst};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
 
 /// Requested pool size (0 = not configured; resolve from the environment).
 static REQUESTED: AtomicUsize = AtomicUsize::new(0);
@@ -146,6 +148,10 @@ struct Job {
     /// Completion signal: `next >= n && active == 0`.
     done: Mutex<()>,
     done_cv: Condvar,
+    /// Profiling state, set only when the hook was active at submission:
+    /// the submission timestamp and a once-flag for the first chunk claim
+    /// (queue-wait measurement).
+    profiled: Option<(Instant, AtomicBool)>,
 }
 
 impl Job {
@@ -184,6 +190,12 @@ impl Job {
             if start >= self.n {
                 break;
             }
+            if let Some((submitted, first_claim)) = &self.profiled {
+                if !first_claim.swap(true, SeqCst) {
+                    profile::emit(PoolEvent::QueueWait, submitted.elapsed().as_nanos() as u64);
+                }
+            }
+            let chunk_t0 = self.profiled.as_ref().map(|_| Instant::now());
             let end = (start + self.chunk).min(self.n);
             // SAFETY: the submitting call blocks until `finished()`, so the
             // closure behind `task` is alive for the whole chunk.
@@ -193,6 +205,9 @@ impl Job {
                     f(i);
                 }
             }));
+            if let Some(t0) = chunk_t0 {
+                profile::emit(PoolEvent::Chunk, t0.elapsed().as_nanos() as u64);
+            }
             if let Err(payload) = result {
                 // Poison: stop handing out chunks, keep the first payload.
                 self.next.fetch_max(self.n, SeqCst);
@@ -261,7 +276,13 @@ fn worker_loop(shared: Arc<Shared>) {
                     .cloned();
                 match runnable {
                     Some(j) => break j,
-                    None => queue = shared.work_cv.wait(queue).unwrap(),
+                    None => {
+                        let park_t0 = profile::active().then(Instant::now);
+                        queue = shared.work_cv.wait(queue).unwrap();
+                        if let Some(t0) = park_t0 {
+                            profile::emit(PoolEvent::Park, t0.elapsed().as_nanos() as u64);
+                        }
+                    }
                 }
             }
         };
@@ -300,6 +321,7 @@ pub(crate) fn run_indexed(n: usize, f: &(dyn Fn(usize) + Sync)) {
     // SAFETY: lifetime erasure; this call does not return until every
     // chunk has retired, so `f` outlives all uses.
     let task: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
+    let profiled = profile::active();
     let job = Arc::new(Job {
         task: TaskPtr(task as *const _),
         n,
@@ -310,6 +332,7 @@ pub(crate) fn run_indexed(n: usize, f: &(dyn Fn(usize) + Sync)) {
         panic: Mutex::new(None),
         done: Mutex::new(()),
         done_cv: Condvar::new(),
+        profiled: profiled.then(|| (Instant::now(), AtomicBool::new(false))),
     });
 
     {
@@ -320,6 +343,7 @@ pub(crate) fn run_indexed(n: usize, f: &(dyn Fn(usize) + Sync)) {
 
     // The submitter is a participant too — this both shares the work and
     // guarantees progress when every worker is busy (nested jobs).
+    let submit_t0 = profiled.then(Instant::now);
     job.participate();
 
     {
@@ -327,6 +351,9 @@ pub(crate) fn run_indexed(n: usize, f: &(dyn Fn(usize) + Sync)) {
         while !job.finished() {
             guard = job.done_cv.wait(guard).unwrap();
         }
+    }
+    if let Some(t0) = submit_t0 {
+        profile::emit(PoolEvent::Submit, t0.elapsed().as_nanos() as u64);
     }
 
     // The job may still sit in the queue (exhausted); remove it so the

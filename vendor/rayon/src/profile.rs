@@ -1,0 +1,64 @@
+//! Fn-pointer profiling hook for the pool.
+//!
+//! The pool cannot depend on `mwu-core`, so it cannot open `mwu_core::prof`
+//! spans itself. Instead it reports leaf durations through a process-global
+//! hook installed once by the composing layer (the experiment harness wires
+//! [`set_hook`] to `mwu_core::prof::record_external` behind `--profile`) —
+//! the same inversion the trace pipeline uses to bridge `FaultEvent`s out of
+//! `simnet`.
+//!
+//! Cost discipline mirrors the Observer contract: with no hook installed, or
+//! with an installed hook whose `is_active` gate returns false, every
+//! instrumented site pays one relaxed atomic load and reads no clock.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+/// Pool activity reported through the hook.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolEvent {
+    /// Delay between a job's submission and its first claimed chunk.
+    QueueWait,
+    /// A worker slept on the work condvar (one event per wakeup).
+    Park,
+    /// One claimed chunk of an indexed job was executed.
+    Chunk,
+    /// A submitting call's full `run_indexed` occupancy: its own
+    /// participation plus the wait for stragglers.
+    Submit,
+}
+
+struct Hook {
+    /// Cheap global gate consulted before any clock read.
+    is_active: fn() -> bool,
+    /// Receives (event, duration in nanoseconds) on the observing thread.
+    sink: fn(PoolEvent, u64),
+}
+
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+static HOOK: OnceLock<Hook> = OnceLock::new();
+
+/// Install the process-wide profiling hook. First call wins; later calls
+/// are ignored (the pool outlives every harness scope, so rebinding would
+/// race with running workers).
+pub fn set_hook(is_active: fn() -> bool, sink: fn(PoolEvent, u64)) {
+    if HOOK.set(Hook { is_active, sink }).is_ok() {
+        INSTALLED.store(true, Ordering::Release);
+    }
+}
+
+/// Is a hook installed *and* currently active? One relaxed load on the
+/// common (inactive) path.
+#[inline]
+pub(crate) fn active() -> bool {
+    INSTALLED.load(Ordering::Relaxed) && (HOOK.get().expect("installed").is_active)()
+}
+
+/// Report one event. Callers must have checked [`active`] — this keeps all
+/// clock reads behind the gate.
+#[inline]
+pub(crate) fn emit(event: PoolEvent, duration_ns: u64) {
+    if let Some(hook) = HOOK.get() {
+        (hook.sink)(event, duration_ns);
+    }
+}
