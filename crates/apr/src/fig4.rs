@@ -38,15 +38,41 @@ pub fn survival_curve(
     trials: usize,
     seed: u64,
 ) -> Vec<CurvePoint> {
-    xs.par_iter()
-        .map(|&x| {
-            let passed = (0..trials)
-                .into_par_iter()
-                .filter(|&t| {
-                    let mut rng = SmallRng::seed_from_u64(mix3(seed, x as u64, t as u64));
-                    let comp = pool.sample_composition(x.min(pool.len()), &mut rng);
-                    evaluate_composition(&scenario.world, &scenario.suite, &comp, None).survived
-                })
+    estimate_curve(xs, trials, |x, t| {
+        let mut rng = SmallRng::seed_from_u64(mix3(seed, x as u64, t as u64));
+        let comp = pool.sample_composition(x.min(pool.len()), &mut rng);
+        evaluate_composition(&scenario.world, &scenario.suite, &comp, None).survived
+    })
+}
+
+/// Shared Monte-Carlo driver for the Figure-4 curves: estimate, for every
+/// `x` in `xs`, the fraction of `trials` independent draws on which
+/// `trial(x, t)` holds.
+///
+/// The whole `(x, trial)` rectangle is flattened into **one** parallel job
+/// instead of one nested job per x-value — each pool chunk amortizes many
+/// trials, where the nested form submitted `xs.len() + 1` jobs whose inner
+/// units were each a single evaluation (the chunk-bookkeeping and
+/// park/wake traffic PROFILE_grid attributed the scaling plateau to).
+/// Every trial derives its RNG from `(x, t)` alone and the per-x counts
+/// fold the ordered result buffer sequentially, so the curve is
+/// byte-identical to the nested (and the sequential) form.
+fn estimate_curve(
+    xs: &[usize],
+    trials: usize,
+    trial: impl Fn(usize, usize) -> bool + Sync,
+) -> Vec<CurvePoint> {
+    let units: Vec<(usize, usize)> = xs
+        .iter()
+        .flat_map(|&x| (0..trials).map(move |t| (x, t)))
+        .collect();
+    let hits: Vec<bool> = units.par_iter().map(|&(x, t)| trial(x, t)).collect();
+    xs.iter()
+        .enumerate()
+        .map(|(i, &x)| {
+            let passed = hits[i * trials..(i + 1) * trials]
+                .iter()
+                .filter(|&&h| h)
                 .count();
             CurvePoint {
                 x,
@@ -65,24 +91,13 @@ pub fn untested_survival_curve(
     seed: u64,
 ) -> Vec<CurvePoint> {
     let sites = scenario.program.covered_sites(&scenario.suite);
-    xs.par_iter()
-        .map(|&x| {
-            let passed = (0..trials)
-                .into_par_iter()
-                .filter(|&t| {
-                    let mut rng = SmallRng::seed_from_u64(mix3(seed ^ 0xFF, x as u64, t as u64));
-                    let comp: Vec<Mutation> = (0..x)
-                        .map(|_| Mutation::random(&scenario.program, &sites, &mut rng))
-                        .collect();
-                    evaluate_composition(&scenario.world, &scenario.suite, &comp, None).survived
-                })
-                .count();
-            CurvePoint {
-                x,
-                value: passed as f64 / trials as f64,
-            }
-        })
-        .collect()
+    estimate_curve(xs, trials, |x, t| {
+        let mut rng = SmallRng::seed_from_u64(mix3(seed ^ 0xFF, x as u64, t as u64));
+        let comp: Vec<Mutation> = (0..x)
+            .map(|_| Mutation::random(&scenario.program, &sites, &mut rng))
+            .collect();
+        evaluate_composition(&scenario.world, &scenario.suite, &comp, None).survived
+    })
 }
 
 /// Fig. 4b: fraction of x-compositions of pool mutations that repair the
@@ -94,22 +109,11 @@ pub fn repair_density_curve(
     trials: usize,
     seed: u64,
 ) -> Vec<CurvePoint> {
-    xs.par_iter()
-        .map(|&x| {
-            let repaired = (0..trials)
-                .into_par_iter()
-                .filter(|&t| {
-                    let mut rng = SmallRng::seed_from_u64(mix3(seed ^ 0x4B, x as u64, t as u64));
-                    let comp = pool.sample_composition(x.min(pool.len()), &mut rng);
-                    evaluate_composition(&scenario.world, &scenario.suite, &comp, None).repaired
-                })
-                .count();
-            CurvePoint {
-                x,
-                value: repaired as f64 / trials as f64,
-            }
-        })
-        .collect()
+    estimate_curve(xs, trials, |x, t| {
+        let mut rng = SmallRng::seed_from_u64(mix3(seed ^ 0x4B, x as u64, t as u64));
+        let comp = pool.sample_composition(x.min(pool.len()), &mut rng);
+        evaluate_composition(&scenario.world, &scenario.suite, &comp, None).repaired
+    })
 }
 
 /// The x at which a curve peaks (ties: smallest x).

@@ -85,6 +85,10 @@ impl MutationPool {
             let cost = suite.full_run_cost_ms();
             let verdicts: Vec<(Mutation, bool)> = candidates
                 .par_iter()
+                // Safety screening is a keyed hash: ~100ns/candidate. The
+                // hint sizes chunks for that cost and keeps sub-batch-sized
+                // jobs off the pool entirely.
+                .with_cost_hint(100)
                 .map(|&m| (m, m.is_safe(world.world_seed, world.safe_rate)))
                 .collect();
             tested += verdicts.len() as u64;
@@ -141,18 +145,40 @@ impl MutationPool {
     /// # Panics
     /// Panics if `x > len()`.
     pub fn sample_composition(&self, x: usize, rng: &mut SmallRng) -> Vec<Mutation> {
+        let mut idx = Vec::new();
+        let mut out = Vec::with_capacity(x);
+        self.sample_composition_into(x, rng, &mut idx, &mut out);
+        out
+    }
+
+    /// [`Self::sample_composition`] writing into caller-owned scratch: the
+    /// index permutation goes into `idx` and the composition into `out`
+    /// (both cleared first). Draws the identical RNG sequence as the
+    /// allocating form, so a probe loop that reuses per-thread scratch (a
+    /// [`mwu_core::ThreadArena`] buffer) produces byte-identical
+    /// compositions. The O(pool) permutation buffer is the allocation this
+    /// removes from the per-probe hot path.
+    pub fn sample_composition_into(
+        &self,
+        x: usize,
+        rng: &mut SmallRng,
+        idx: &mut Vec<usize>,
+        out: &mut Vec<Mutation>,
+    ) {
         assert!(
             x <= self.mutations.len(),
             "requested {x} mutations from a pool of {}",
             self.mutations.len()
         );
         let n = self.mutations.len();
-        let mut idx: Vec<usize> = (0..n).collect();
+        idx.clear();
+        idx.extend(0..n);
         for i in 0..x {
             let j = rng.gen_range(i..n);
             idx.swap(i, j);
         }
-        idx[..x].iter().map(|&i| self.mutations[i]).collect()
+        out.clear();
+        out.extend(idx[..x].iter().map(|&i| self.mutations[i]));
     }
 
     /// Incremental pool update when the suite gains a test (paper §III-C):
@@ -174,6 +200,7 @@ impl MutationPool {
         let survivors: Vec<Mutation> = self
             .mutations
             .par_iter()
+            .with_cost_hint(100)
             .copied()
             .filter(|m| {
                 !keyed_bernoulli(

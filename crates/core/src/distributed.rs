@@ -193,6 +193,27 @@ impl DistributedMwu {
         Self::try_new(k, config).expect("scenario intractable for Distributed MWU")
     }
 
+    /// Reset to the exact state of a fresh `try_new(k, config)` while
+    /// keeping every buffer's allocation — the
+    /// [`crate::arena::ThreadArena`] reuse contract. Trajectories after a
+    /// reset are bit-identical to a fresh instance's.
+    pub fn reset(&mut self) {
+        let k = self.k;
+        for (j, c) in self.choices.iter_mut().enumerate() {
+            *c = (j % k) as u32;
+        }
+        self.counts.fill(0);
+        for &c in &self.choices {
+            self.counts[c as usize] += 1;
+        }
+        self.observed.fill(0);
+        self.in_degree.fill(0);
+        self.plan_usize.clear();
+        self.convergence = ConvergenceState::new(self.convergence.criterion());
+        self.comm = CommStats::default();
+        self.iteration = 0;
+    }
+
     /// The population size in force.
     pub fn population(&self) -> usize {
         self.choices.len()

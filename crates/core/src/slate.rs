@@ -112,6 +112,14 @@ struct DecompScratch {
 }
 
 impl DecompScratch {
+    /// Drop all held state, keeping allocations.
+    fn clear(&mut self) {
+        self.r.clear();
+        self.order.clear();
+        self.lambdas.clear();
+        self.slates.clear();
+    }
+
     /// Number of `(λ, slate)` entries currently held.
     fn len(&self) -> usize {
         self.lambdas.len()
@@ -245,6 +253,31 @@ impl SlateMwu {
             update_scratch: Vec::with_capacity(s),
             decomp: DecompScratch::default(),
         }
+    }
+
+    /// Reset to the exact state of a fresh `new(k, config)` while keeping
+    /// every buffer's allocation — the [`crate::arena::ThreadArena`] reuse
+    /// contract. Trajectories after a reset are bit-identical to a fresh
+    /// instance's.
+    pub fn reset(&mut self) {
+        let k = self.weights.len();
+        self.weights.reset_uniform();
+        self.convergence = ConvergenceState::new(self.convergence.criterion());
+        self.comm = CommStats::default();
+        self.iteration = 0;
+        self.plan_buf.clear();
+        self.plan_q.clear();
+        self.inclusion.fill(self.slate_size as f64 / k as f64);
+        self.capped_scratch.reset_uniform();
+        self.cap_fixed.clear();
+        self.sys_acc.clear();
+        self.update_scratch.clear();
+        self.decomp.clear();
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &SlateConfig {
+        &self.config
     }
 
     /// The slate size `s` in force.

@@ -105,6 +105,20 @@ impl StandardMwu {
         }
     }
 
+    /// Reset to the exact state of a fresh `new(k, config)` while keeping
+    /// every buffer's allocation — the [`crate::arena::ThreadArena`] reuse
+    /// contract. Trajectories after a reset are bit-identical to a fresh
+    /// instance's.
+    pub fn reset(&mut self) {
+        let k = self.weights.len();
+        self.weights.reset_uniform();
+        self.convergence = ConvergenceState::new(self.convergence.criterion());
+        self.comm = CommStats::default();
+        self.iteration = 0;
+        self.plan_buf.clear();
+        self.plan_buf.extend(0..k);
+    }
+
     /// The current weight vector (normalized).
     pub fn weights(&self) -> &WeightVector {
         &self.weights

@@ -52,6 +52,14 @@ impl WeightVector {
         }
     }
 
+    /// Reset to the uniform distribution in place, keeping the allocation.
+    /// Bit-identical to a fresh [`Self::uniform`] of the same length.
+    pub fn reset_uniform(&mut self) {
+        let k = self.p.len();
+        self.p.fill(1.0 / k as f64);
+        self.cdf.clear();
+    }
+
     /// Build from arbitrary non-negative weights (normalized on entry).
     ///
     /// # Panics

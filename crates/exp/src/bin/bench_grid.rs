@@ -18,8 +18,16 @@
 use mwu_core::Variant;
 use mwu_datasets::full_catalog;
 use mwu_experiments::{run_cell, BenchMeta, CommonArgs, GridConfig};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
+use std::process::ExitCode;
 use std::time::Instant;
+
+/// Speedup-floor gate for `--check`: the widest-thread-count speedup may
+/// drop at most this far below the committed baseline's value before the
+/// run fails. Absolute wall-clock is never compared — machines differ —
+/// the scaling *shape* is this artifact's contract, and the margin
+/// absorbs scheduler noise on shared runners.
+const SPEEDUP_NOISE_MARGIN: f64 = 0.25;
 
 #[derive(Serialize)]
 struct CellTiming {
@@ -33,11 +41,24 @@ struct CellTiming {
     intractable: bool,
 }
 
-#[derive(Serialize)]
+#[derive(Serialize, Deserialize)]
 struct TotalTiming {
     threads: usize,
     wall_ms: f64,
     speedup_vs_1: f64,
+}
+
+/// The slice of a committed `BENCH_grid.json` the `--check` gate needs.
+/// Fields the gate ignores are not declared, so the baseline can grow
+/// without breaking older binaries; `meta`/`warmup_passes` are optional
+/// because baselines predating them must still parse.
+#[derive(Deserialize)]
+struct BaselineGrid {
+    schema: String,
+    meta: Option<BenchMeta>,
+    #[allow(dead_code)]
+    warmup_passes: Option<usize>,
+    totals: Vec<TotalTiming>,
 }
 
 /// One thread-count sweep's merged span report.
@@ -65,13 +86,57 @@ struct BenchGrid {
     thread_counts: Vec<usize>,
     replicates: usize,
     datasets: usize,
+    /// Untimed full passes run before the timed sweeps (cold-process
+    /// warmup; see the module docs). Recorded so a baseline says whether
+    /// its 1-thread column was measured warm.
+    warmup_passes: usize,
     deterministic_across_thread_counts: bool,
     cells: Vec<CellTiming>,
     totals: Vec<TotalTiming>,
 }
 
-fn main() {
+/// Compare the widest thread count both reports measured; `Some` is the
+/// failure description. Build profiles must match — debug numbers gated
+/// against a release baseline (or vice versa) are meaningless.
+fn speedup_regression(current: &BenchGrid, baseline: &BaselineGrid) -> Option<String> {
+    if let Some(meta) = &baseline.meta {
+        if meta.build_profile != current.meta.build_profile {
+            return Some(format!(
+                "refusing to compare {} build against {} baseline",
+                current.meta.build_profile, meta.build_profile
+            ));
+        }
+    }
+    let (cur, base) = current.totals.iter().rev().find_map(|c| {
+        baseline
+            .totals
+            .iter()
+            .find(|b| b.threads == c.threads)
+            .map(|b| (c, b))
+    })?;
+    let floor = base.speedup_vs_1 - SPEEDUP_NOISE_MARGIN;
+    if cur.speedup_vs_1 < floor {
+        return Some(format!(
+            "{}-thread speedup {:.2}x below floor {:.2}x (baseline {:.2}x - {SPEEDUP_NOISE_MARGIN} noise margin)",
+            cur.threads, cur.speedup_vs_1, floor, base.speedup_vs_1
+        ));
+    }
+    None
+}
+
+fn main() -> ExitCode {
     let args = CommonArgs::from_env();
+    // Read the `--check` baseline before producing any output: CI points
+    // `--out` at the directory holding the committed baseline, so writing
+    // first would gate the run against itself.
+    let baseline: Option<BaselineGrid> = args.check.as_deref().map(|path| {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("read baseline {}: {e}", path.display()));
+        let parsed: BaselineGrid = serde_json::from_str(&text)
+            .unwrap_or_else(|e| panic!("parse baseline {}: {e:?}", path.display()));
+        assert_eq!(parsed.schema, "bench_grid/v1", "baseline schema mismatch");
+        parsed
+    });
     // Sweep counts must not exceed the pool: a cap above the pool size
     // would silently measure the pool size instead.
     if args.threads.is_none() {
@@ -100,6 +165,19 @@ fn main() {
             thread_counts,
             pool_threads
         );
+    }
+
+    // Untimed warmup: without it the first timed sweep runs in a cold
+    // process, charging pool spawn, page faults, and lazy-init work to the
+    // 1-thread baseline cell and flattering every speedup ratio. One full
+    // pass at the unrestricted pool width touches all of that up front.
+    let warmup_passes = 1usize;
+    for _ in 0..warmup_passes {
+        for d in &datasets {
+            for &alg in &[Variant::Standard, Variant::Distributed, Variant::Slate] {
+                let _ = run_cell(alg, d, &config);
+            }
+        }
     }
 
     let profiling = args.profile.is_some();
@@ -168,6 +246,7 @@ fn main() {
         thread_counts,
         replicates: config.replicates,
         datasets: datasets.len(),
+        warmup_passes,
         deterministic_across_thread_counts: deterministic,
         cells,
         totals,
@@ -208,4 +287,17 @@ fn main() {
         deterministic,
         "grid output must be identical at every thread count"
     );
+    if let Some(baseline) = &baseline {
+        if let Some(failure) = speedup_regression(&report, baseline) {
+            eprintln!("bench_grid: REGRESSION {failure}");
+            return ExitCode::FAILURE;
+        }
+        if !args.quiet {
+            eprintln!(
+                "bench_grid: scaling within {SPEEDUP_NOISE_MARGIN} of {}",
+                args.check.as_deref().unwrap().display()
+            );
+        }
+    }
+    ExitCode::SUCCESS
 }

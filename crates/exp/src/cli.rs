@@ -41,6 +41,12 @@ pub struct CommonArgs {
     /// only: every CSV/trace byte is identical with it on or off; see
     /// `docs/TELEMETRY.md`.
     pub profile: Option<PathBuf>,
+    /// Committed baseline artifact to gate against (`--check PATH`).
+    /// Bench binaries that honor it compare fresh numbers with the
+    /// baseline and exit non-zero on regression; the baseline is read
+    /// before any output is written, so `--out` may point at the
+    /// directory holding the baseline itself.
+    pub check: Option<PathBuf>,
 }
 
 impl Default for CommonArgs {
@@ -58,6 +64,7 @@ impl Default for CommonArgs {
             checkpoint_every: 512,
             threads: None,
             profile: None,
+            check: None,
         }
     }
 }
@@ -127,11 +134,15 @@ impl CommonArgs {
                     let v = it.next().ok_or("--profile needs a path")?;
                     out.profile = Some(PathBuf::from(v));
                 }
+                "--check" => {
+                    let v = it.next().ok_or("--check needs a path")?;
+                    out.check = Some(PathBuf::from(v));
+                }
                 "--help" | "-h" => {
                     return Err("flags: --replicates N | --seed S | --out DIR | --fast | \
                          --only SUBSTR | --trace PATH | --quiet | --checkpoint PATH | \
                          --resume PATH | --checkpoint-every N | --threads N | \
-                         --profile PATH"
+                         --profile PATH | --check PATH"
                         .into())
                 }
                 other => return Err(format!("unknown flag {other:?} (try --help)")),
@@ -167,8 +178,7 @@ impl CommonArgs {
         if self.profile.is_none() {
             return;
         }
-        rayon::set_profile_hook(mwu_core::prof::enabled, bridge_pool_event);
-        simnet::set_profile_hook(mwu_core::prof::enabled, bridge_sim_event);
+        install_profile_hooks();
         mwu_core::prof::set_enabled(true);
     }
 
@@ -237,6 +247,17 @@ impl CommonArgs {
         });
         mwu_core::trace::Tee(jsonl, mwu_core::ProgressSink::quiet(self.quiet))
     }
+}
+
+/// Bridge the pool and simnet fn-pointer profiling hooks into
+/// [`mwu_core::prof::record_external`]. Installation is first-wins and
+/// does **not** enable the profiler by itself — every instrumented site
+/// stays one relaxed atomic load until `prof::set_enabled(true)`. Public
+/// so profile-shape tests can install the bridge without a `--profile`
+/// flag in play.
+pub fn install_profile_hooks() {
+    rayon::set_profile_hook(mwu_core::prof::enabled, bridge_pool_event);
+    simnet::set_profile_hook(mwu_core::prof::enabled, bridge_sim_event);
 }
 
 /// Map a pool event onto its profiler phase. Runs on the observing
@@ -331,6 +352,15 @@ mod tests {
         assert_eq!(a.profile, Some(PathBuf::from("/tmp/prof.json")));
         assert!(p(&["--profile"]).is_err());
         assert!(p(&["--help"]).unwrap_err().contains("--profile"));
+    }
+
+    #[test]
+    fn parses_check() {
+        assert_eq!(p(&[]).unwrap().check, None);
+        let a = p(&["--check", "BENCH_grid.json"]).unwrap();
+        assert_eq!(a.check, Some(PathBuf::from("BENCH_grid.json")));
+        assert!(p(&["--check"]).is_err());
+        assert!(p(&["--help"]).unwrap_err().contains("--check"));
     }
 
     #[test]

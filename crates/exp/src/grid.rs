@@ -6,8 +6,8 @@ use mwu_core::trace::{
     CellEndEvent, CellStartEvent, NullObserver, Observer, ProgressSink, ReplicateEvent,
 };
 use mwu_core::{
-    run_to_convergence, DistributedConfig, DistributedMwu, RunConfig, RunOutcome, SlateConfig,
-    SlateMwu, StandardConfig, StandardMwu, Variant,
+    run_to_convergence, DistributedConfig, RunConfig, RunOutcome, SlateConfig, StandardConfig,
+    ThreadArena, Variant,
 };
 use mwu_datasets::Dataset;
 use rayon::prelude::*;
@@ -133,39 +133,80 @@ pub fn run_cell_observed<O: Observer>(
 
     let outcomes: Vec<(u64, u64, RunOutcome)> = (0..config.replicates as u64)
         .into_par_iter()
-        .map(|r| {
-            let run_seed = replicate_seed(algorithm, dataset, config.seed, r);
-            let mut bandit = dataset.bandit();
-            let run_cfg = RunConfig {
-                max_iterations: config.max_iterations,
-                seed: run_seed,
-                run_past_convergence: false,
-            };
-            let outcome = match algorithm {
-                Variant::Standard => {
-                    let mut alg = StandardMwu::new(k, StandardConfig::default());
-                    run_to_convergence(&mut alg, &mut bandit, &run_cfg)
-                }
-                Variant::Slate => {
-                    let mut alg = SlateMwu::new(k, SlateConfig::default());
-                    run_to_convergence(&mut alg, &mut bandit, &run_cfg)
-                }
-                Variant::Distributed => {
-                    let mut alg = DistributedMwu::try_new(k, DistributedConfig::default())
-                        .expect("tractability pre-checked");
-                    run_to_convergence(&mut alg, &mut bandit, &run_cfg)
-                }
-            };
-            (r, run_seed, outcome)
-        })
+        .with_cost_hint(REPLICATE_COST_HINT_NS)
+        .map(|r| run_replicate(algorithm, dataset, config, r))
         .collect();
+    aggregate_and_emit(algorithm, dataset, config, &outcomes, observer)
+}
 
+/// Per-item cost hint for grid replicates: a replicate is a full
+/// run-to-convergence (milliseconds), so the pool should hand out
+/// single-replicate chunks rather than probing with a large first chunk.
+/// Scheduling only — results are byte-identical for any value.
+const REPLICATE_COST_HINT_NS: u64 = 1_000_000;
+
+/// One replicate of `algorithm` on `dataset`: the unit of parallel work.
+///
+/// The algorithm instance comes from (and returns to) the executing
+/// thread's [`ThreadArena`], so a worker sweeping many replicates reuses
+/// one set of kernel buffers instead of reallocating per run; a reset
+/// instance's trajectory is bit-identical to a fresh one's, and the RNG
+/// stream is derived from the replicate key alone, so arena reuse cannot
+/// move a byte of output.
+fn run_replicate(
+    algorithm: Variant,
+    dataset: &Dataset,
+    config: &GridConfig,
+    r: u64,
+) -> (u64, u64, RunOutcome) {
+    let k = dataset.size();
+    let run_seed = replicate_seed(algorithm, dataset, config.seed, r);
+    let mut bandit = dataset.bandit();
+    let run_cfg = RunConfig {
+        max_iterations: config.max_iterations,
+        seed: run_seed,
+        run_past_convergence: false,
+    };
+    let outcome = match algorithm {
+        Variant::Standard => {
+            let mut alg = ThreadArena::with(|a| a.take_standard(k, StandardConfig::default()));
+            let out = run_to_convergence(&mut alg, &mut bandit, &run_cfg);
+            ThreadArena::with(move |a| a.give_standard(alg));
+            out
+        }
+        Variant::Slate => {
+            let mut alg = ThreadArena::with(|a| a.take_slate(k, SlateConfig::default()));
+            let out = run_to_convergence(&mut alg, &mut bandit, &run_cfg);
+            ThreadArena::with(move |a| a.give_slate(alg));
+            out
+        }
+        Variant::Distributed => {
+            let mut alg =
+                ThreadArena::with(|a| a.take_distributed(k, DistributedConfig::default()))
+                    .expect("tractability pre-checked");
+            let out = run_to_convergence(&mut alg, &mut bandit, &run_cfg);
+            ThreadArena::with(move |a| a.give_distributed(alg));
+            out
+        }
+    };
+    (r, run_seed, outcome)
+}
+
+/// Fold replicate outcomes into a [`CellResult`], emitting the per-replicate
+/// and cell-end telemetry in replicate order (scheduling-independent).
+fn aggregate_and_emit<O: Observer>(
+    algorithm: Variant,
+    dataset: &Dataset,
+    config: &GridConfig,
+    outcomes: &[(u64, u64, RunOutcome)],
+    observer: &mut O,
+) -> CellResult {
     let mut iterations = RunningStats::new();
     let mut accuracy = RunningStats::new();
     let mut cpu_iterations = RunningStats::new();
     let mut peak_congestion = RunningStats::new();
     let mut converged = 0u64;
-    for (r, run_seed, outcome) in &outcomes {
+    for (r, run_seed, outcome) in outcomes {
         iterations.push(outcome.iterations as f64);
         accuracy.push(dataset.accuracy_of(outcome.leader));
         cpu_iterations.push(outcome.cpu_iterations as f64);
@@ -198,7 +239,7 @@ pub fn run_cell_observed<O: Observer>(
     CellResult {
         algorithm,
         dataset: dataset.name.clone(),
-        size: k,
+        size: dataset.size(),
         intractable: false,
         iterations: iterations.summary(),
         accuracy: accuracy.summary(),
@@ -225,13 +266,70 @@ pub fn run_grid_observed<O: Observer>(
     config: &GridConfig,
     observer: &mut O,
 ) -> Vec<CellResult> {
-    let mut out = Vec::with_capacity(datasets.len() * 3);
-    for dataset in datasets {
-        for &alg in &[Variant::Standard, Variant::Distributed, Variant::Slate] {
-            out.push(run_cell_observed(alg, dataset, config, &mut *observer));
-        }
+    // Coarse-grained scheduling: every (cell, replicate) of the whole grid
+    // is flattened into ONE parallel job, so the pool never drains to a
+    // per-cell barrier — the tail of one cell overlaps the next cell's
+    // replicates. Telemetry is withheld until the join and then emitted in
+    // the canonical (cell, replicate) order, so traces stay byte-identical
+    // to the per-cell form at every thread count.
+    let algs = [Variant::Standard, Variant::Distributed, Variant::Slate];
+    let cells: Vec<(&Dataset, Variant, bool)> = datasets
+        .iter()
+        .flat_map(|d| {
+            algs.iter().map(move |&alg| {
+                let tractable = alg != Variant::Distributed
+                    || DistributedConfig::default().is_tractable(d.size());
+                (d, alg, tractable)
+            })
+        })
+        .collect();
+
+    let units: Vec<(usize, u64)> = cells
+        .iter()
+        .enumerate()
+        .filter(|(_, &(_, _, tractable))| tractable)
+        .flat_map(|(i, _)| (0..config.replicates as u64).map(move |r| (i, r)))
+        .collect();
+    let outcomes: Vec<(usize, (u64, u64, RunOutcome))> = units
+        .par_iter()
+        .with_cost_hint(REPLICATE_COST_HINT_NS)
+        .map(|&(i, r)| {
+            let (dataset, alg, _) = cells[i];
+            (i, run_replicate(alg, dataset, config, r))
+        })
+        .collect();
+    let mut per_cell: Vec<Vec<(u64, u64, RunOutcome)>> = vec![Vec::new(); cells.len()];
+    for (i, outcome) in outcomes {
+        per_cell[i].push(outcome);
     }
-    out
+
+    cells
+        .iter()
+        .zip(per_cell)
+        .map(|(&(dataset, alg, tractable), outs)| {
+            if observer.enabled() {
+                observer.on_cell_start(CellStartEvent {
+                    algorithm: alg.to_string(),
+                    dataset: dataset.name.clone(),
+                    size: dataset.size(),
+                    replicates: config.replicates,
+                });
+            }
+            if !tractable {
+                if observer.enabled() {
+                    observer.on_cell_end(CellEndEvent {
+                        algorithm: alg.to_string(),
+                        dataset: dataset.name.clone(),
+                        converged: 0,
+                        replicates: 0,
+                        intractable: true,
+                    });
+                }
+                return CellResult::intractable_cell(alg, dataset);
+            }
+            aggregate_and_emit(alg, dataset, config, &outs, &mut *observer)
+        })
+        .collect()
 }
 
 #[cfg(test)]

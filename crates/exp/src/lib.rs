@@ -33,7 +33,7 @@ pub mod meta;
 pub mod social;
 pub mod tables;
 
-pub use cli::CommonArgs;
+pub use cli::{install_profile_hooks, CommonArgs};
 pub use grid::{
     replicate_seed, run_cell, run_cell_observed, run_grid, run_grid_observed, CellResult,
     GridConfig,

@@ -209,6 +209,13 @@ where
     let mut halted = false;
     // Reused probability snapshot for the observer's entropy figure.
     let mut probs: Vec<f64> = Vec::new();
+    // Per-probe cost estimate (EWMA over completed cycles, ns) fed to the
+    // pool as a chunk-sizing hint. Cycle 1 passes 0 (unknown → the pool
+    // measures its first chunk); every later cycle sizes chunks up front
+    // and keeps rounds too small to amortize a pool submission inline —
+    // the coarse-graining that removes the per-round park/wake storm.
+    // Purely a scheduling hint: outcomes are byte-identical for any value.
+    let mut probe_cost_hint: u64 = 0;
 
     if observer.enabled() {
         observer.on_run_start(RunStartEvent {
@@ -254,13 +261,25 @@ where
         }
         let seed = config.seed;
         let probe_span = mwu_core::prof::span(mwu_core::prof::Phase::ProbeLoop);
+        let probe_t0 = std::time::Instant::now();
         let results: Vec<ProbeResult> = plan
             .par_iter()
+            .with_cost_hint(probe_cost_hint)
             .enumerate()
             .map(|(agent, &arm)| {
                 let x = arm + 1;
                 let mut agent_rng = SmallRng::seed_from_u64(mix(&[seed, t as u64, agent as u64]));
-                let comp = pool.sample_composition(x.min(pool.len()), &mut agent_rng);
+                // The O(pool) sampling permutation lives in this worker's
+                // persistent arena instead of being reallocated per probe.
+                let mut idx = mwu_core::ThreadArena::with(|a| a.take_usize());
+                let mut comp = Vec::new();
+                pool.sample_composition_into(
+                    x.min(pool.len()),
+                    &mut agent_rng,
+                    &mut idx,
+                    &mut comp,
+                );
+                mwu_core::ThreadArena::with(move |a| a.give_usize(idx));
                 let out = scenario.evaluate(&comp, ledger);
                 let reward = match config.reward {
                     RewardMode::FitnessRetained => {
@@ -288,6 +307,14 @@ where
             })
             .collect();
         drop(probe_span);
+        let cycle_ns = probe_t0.elapsed().as_nanos() as u64;
+        let per_probe = cycle_ns / plan.len().max(1) as u64;
+        probe_cost_hint = if probe_cost_hint == 0 {
+            per_probe
+        } else {
+            // EWMA (α = 1/4) smooths one-off stalls without going stale.
+            (3 * probe_cost_hint + per_probe) / 4
+        };
 
         // The parallel phase's critical path is its slowest probe.
         if let Some(l) = ledger {

@@ -149,3 +149,65 @@ fn worker_panic_reaches_the_submitting_thread() {
     let sum: u64 = (0..1000u64).into_par_iter().sum();
     assert_eq!(sum, 499_500);
 }
+
+/// Chunk sizing must never affect output: boundary sizes around the pool
+/// width and the legacy `width*4` divisor, crossed with cost-hint extremes
+/// (0 = adaptive, 1 = everything-inline via the small-job route, huge =
+/// one-item chunks), all byte-identical to sequential.
+#[test]
+fn chunk_sizing_edges_match_sequential() {
+    pool_of_four();
+    let f = |i: u64| i.wrapping_mul(0x9E37_79B9).rotate_left(13);
+    for n in [5u64, 15, 16, 17] {
+        let seq: Vec<u64> = (0..n).map(f).collect();
+        let par: Vec<u64> = (0..n).into_par_iter().map(f).collect();
+        assert_eq!(par, seq, "n={n} unhinted");
+        for hint in [0u64, 1, 50_000, u64::MAX] {
+            let hinted: Vec<u64> = (0..n).into_par_iter().with_cost_hint(hint).map(f).collect();
+            assert_eq!(hinted, seq, "n={n} hint={hint}");
+        }
+    }
+}
+
+/// Adaptive sizing (no cost hint) measures its first chunk under whatever
+/// participation cap is active; nesting caps must not move a byte.
+#[test]
+fn adaptive_sizing_under_nested_caps_matches_sequential() {
+    pool_of_four();
+    let n = 10_000u64;
+    let f = |i: u64| (i ^ (i >> 7)).wrapping_mul(31);
+    let seq: Vec<u64> = (0..n).map(f).collect();
+    for cap in [1usize, 2, 3] {
+        let par = rayon::with_max_threads(cap, || {
+            rayon::with_max_threads(cap.min(2), || {
+                (0..n).into_par_iter().map(f).collect::<Vec<u64>>()
+            })
+        });
+        assert_eq!(par, seq, "cap={cap}");
+    }
+}
+
+/// A panic raised in an item claimed through the mailbox fast-path must
+/// reach the submitter, and the pool must keep serving work afterwards.
+/// The hint forces ~20-item chunks, so parked workers claim most of the
+/// job through the fast-path rather than the queue scan.
+#[test]
+fn worker_panic_propagates_through_claim_fast_path() {
+    pool_of_four();
+    let r = std::panic::catch_unwind(|| {
+        let _: Vec<u64> = (0..100_000u64)
+            .into_par_iter()
+            .with_cost_hint(10_000)
+            .map(|i| {
+                if i == 65_537 {
+                    panic!("fast-path probe failed")
+                } else {
+                    i
+                }
+            })
+            .collect();
+    });
+    assert!(r.is_err(), "panic in a fast-path chunk must propagate");
+    let sum: u64 = (0..1000u64).into_par_iter().with_cost_hint(1_000).sum();
+    assert_eq!(sum, 499_500);
+}

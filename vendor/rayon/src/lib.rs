@@ -23,6 +23,9 @@
 //! * `RAYON_NUM_THREADS` — environment fallback, as in real rayon.
 //! * [`with_max_threads`] — scoped participation cap (testing / benching
 //!   several thread counts inside one process).
+//! * [`ParIter::with_cost_hint`] — approximate per-item cost in
+//!   nanoseconds; sizes pool chunks and routes too-small jobs inline.
+//!   Scheduling only — results are identical for every value.
 //!
 //! ## Differences from real rayon
 //!
@@ -48,6 +51,10 @@ pub use profile::{set_hook as set_profile_hook, PoolEvent};
 pub struct ParIter<'f, T, U> {
     items: Vec<T>,
     op: Box<dyn Fn(T) -> Option<U> + Sync + 'f>,
+    /// Caller-supplied per-item cost in nanoseconds (0 = unknown); sizes
+    /// pool chunks and routes too-small jobs inline. See
+    /// [`Self::with_cost_hint`].
+    cost_hint_ns: u64,
 }
 
 impl<'f, T: Send + 'f> ParIter<'f, T, T> {
@@ -55,6 +62,7 @@ impl<'f, T: Send + 'f> ParIter<'f, T, T> {
         ParIter {
             items,
             op: Box::new(Some),
+            cost_hint_ns: 0,
         }
     }
 }
@@ -70,7 +78,19 @@ impl<'f, T: Send + 'f, U: Send + 'f> ParIter<'f, T, U> {
         ParIter {
             items: self.items,
             op: Box::new(move |t| op(t).map(&f)),
+            cost_hint_ns: self.cost_hint_ns,
         }
+    }
+
+    /// Declare the approximate cost of one item, in nanoseconds of work
+    /// (`0` = unknown, the default: the pool measures its first chunk and
+    /// adapts). The hint lets the pool size chunks so each claim amortizes
+    /// a fixed time budget, and run jobs whose *total* cost cannot amortize
+    /// a submission handshake inline instead. Purely a scheduling hint:
+    /// results are byte-identical for every value.
+    pub fn with_cost_hint(mut self, ns_per_item: u64) -> Self {
+        self.cost_hint_ns = ns_per_item;
+        self
     }
 
     /// Keep only items for which `pred` holds. Relative order is preserved.
@@ -82,6 +102,7 @@ impl<'f, T: Send + 'f, U: Send + 'f> ParIter<'f, T, U> {
         ParIter {
             items: self.items,
             op: Box::new(move |t| op(t).filter(|u| pred(u))),
+            cost_hint_ns: self.cost_hint_ns,
         }
     }
 
@@ -96,12 +117,14 @@ impl<'f, T: Send + 'f, U: Send + 'f> ParIter<'f, T, U> {
         ParIter {
             items: self.items.into_iter().enumerate().collect(),
             op: Box::new(move |(i, t): (usize, T)| op(t).map(|u| (i, u))),
+            cost_hint_ns: self.cost_hint_ns,
         }
     }
 
     /// Run the pipeline on the pool; slot `i` holds item `i`'s outcome.
     fn run(self) -> Vec<Option<U>> {
         let n = self.items.len();
+        let cost_hint_ns = self.cost_hint_ns;
         let op = self.op;
         if n < 2 {
             return self.items.into_iter().map(op).collect();
@@ -142,7 +165,7 @@ impl<'f, T: Send + 'f, U: Send + 'f> ParIter<'f, T, U> {
                 std::ptr::write(dst.get().add(i), op(item));
             }
         };
-        pool::run_indexed(n, &task);
+        pool::run_indexed_with_cost(n, cost_hint_ns, &task);
 
         // Every element was moved out: free the buffer without dropping.
         let mut items = std::mem::ManuallyDrop::into_inner(items);
@@ -186,6 +209,7 @@ impl<'f, 'x: 'f, T: Send + 'f, U: Copy + Send + 'x> ParIter<'f, T, &'x U> {
         ParIter {
             items: self.items,
             op: Box::new(move |t| op(t).copied()),
+            cost_hint_ns: self.cost_hint_ns,
         }
     }
 }

@@ -11,13 +11,37 @@
 //! sharing*: threads pull chunks from the same counter, so an uneven item
 //! cost profile balances automatically without per-thread deques.
 //!
+//! ## Chunk sizing
+//!
+//! Chunks are sized by *cost*, not by a fixed fraction of `n`. A caller
+//! that knows its per-item cost supplies it via
+//! [`crate::ParIter::with_cost_hint`]; the pool picks the chunk so one
+//! claim amortizes roughly [`TARGET_CHUNK_NS`] of work (clamped so every
+//! participant still gets at least one chunk). Without a hint the pool
+//! starts from the old `n / (width·4)` guess, times the first completed
+//! chunk, and resizes the remaining claims from that measurement. Jobs
+//! whose *total* hinted cost is below [`MIN_PARALLEL_NS`] run inline —
+//! tiny per-round kernels no longer pay a submission, a wake storm, and a
+//! condvar park for microseconds of work. Chunk boundaries therefore vary
+//! run to run, but outputs cannot observe them (see below).
+//!
+//! ## Claim fast-path
+//!
+//! The most recently submitted live job is also published in a mailbox
+//! (`RwLock<Option<Arc<Job>>>`). A woken worker claims work through the
+//! read lock — shared, never contended by other claimants — and only falls
+//! back to the queue mutex when the mailbox job is finished or at its
+//! participation cap. The queue mutex is thus off the steady-state claim
+//! path entirely.
+//!
 //! ## Determinism contract
 //!
 //! Chunk claiming is racy by design, but every result is written to the
 //! output slot of its *input index*, and all reductions (collect / count /
 //! sum) fold the ordered output buffer sequentially. Callers therefore see
-//! results that are byte-identical to a sequential run, for every pool size
-//! and every scheduling interleaving. See `docs/PARALLELISM.md`.
+//! results that are byte-identical to a sequential run, for every pool
+//! size, every chunk size, and every scheduling interleaving. See
+//! `docs/PARALLELISM.md`.
 //!
 //! ## Nested parallelism and deadlock freedom
 //!
@@ -41,8 +65,17 @@ use std::any::Any;
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::SeqCst};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
 use std::time::Instant;
+
+/// Wall-clock work one claimed chunk should amortize. Big enough that the
+/// `fetch_add` + bookkeeping per claim is noise, small enough that a width
+/// of chunks still load-balances an uneven cost profile.
+const TARGET_CHUNK_NS: u64 = 200_000;
+
+/// Jobs whose total hinted cost falls below this run inline: the
+/// submission handshake (queue push, wake, park) costs more than the work.
+const MIN_PARALLEL_NS: u64 = 400_000;
 
 /// Requested pool size (0 = not configured; resolve from the environment).
 static REQUESTED: AtomicUsize = AtomicUsize::new(0);
@@ -121,6 +154,10 @@ struct Shared {
     queue: Mutex<VecDeque<Arc<Job>>>,
     /// Signalled when a new job is pushed.
     work_cv: Condvar,
+    /// The most recently submitted live job — the claim fast-path. Workers
+    /// take the read lock only (shared among claimants), so claiming never
+    /// contends on the queue mutex while a live job has unclaimed chunks.
+    mailbox: RwLock<Option<Arc<Job>>>,
 }
 
 /// Type-erased pointer to the submitting call's `f(i)` closure. The
@@ -135,8 +172,18 @@ struct Job {
     task: TaskPtr,
     /// Total items.
     n: usize,
-    /// Items claimed per `fetch_add`.
-    chunk: usize,
+    /// Items claimed per `fetch_add`. Starts at the hint-derived (or
+    /// guessed) size; the adaptive path rewrites it once after the first
+    /// measured chunk. Claims are disjoint for *any* interleaving of
+    /// loads and stores here, because each `fetch_add` reserves exactly
+    /// the range it advanced over.
+    chunk: AtomicUsize,
+    /// Upper bound for adaptive resizing: `ceil(n / width)`, so every
+    /// participant can still claim at least one chunk.
+    chunk_cap: usize,
+    /// Set once the chunk size is final (hint supplied, or first
+    /// measurement taken). Until then participants time their chunk.
+    sized: AtomicBool,
     /// Max concurrent participants (from the submitter's thread cap).
     max_active: usize,
     /// Next unclaimed item index (monotone; `>= n` means exhausted).
@@ -152,11 +199,20 @@ struct Job {
     /// the submission timestamp and a once-flag for the first chunk claim
     /// (queue-wait measurement).
     profiled: Option<(Instant, AtomicBool)>,
+    /// Monotonic submission time, for clamping park episodes: a worker
+    /// claiming this job was only *kept waiting by the pool* since the
+    /// job existed, not since the worker first dozed off.
+    submitted_ns: u64,
 }
 
 impl Job {
     fn finished(&self) -> bool {
         self.next.load(SeqCst) >= self.n && self.active.load(SeqCst) == 0
+    }
+
+    /// Can a new participant make progress on this job right now?
+    fn claimable(&self) -> bool {
+        self.next.load(SeqCst) < self.n && self.active.load(SeqCst) < self.max_active
     }
 
     /// Claim a participation slot (bounded by `max_active`) and process
@@ -186,7 +242,8 @@ impl Job {
         let _restore = Restore(MAX_THREADS.with(|c| c.replace(self.max_active)));
 
         loop {
-            let start = self.next.fetch_add(self.chunk, SeqCst);
+            let chunk = self.chunk.load(SeqCst).max(1);
+            let start = self.next.fetch_add(chunk, SeqCst);
             if start >= self.n {
                 break;
             }
@@ -195,8 +252,11 @@ impl Job {
                     profile::emit(PoolEvent::QueueWait, submitted.elapsed().as_nanos() as u64);
                 }
             }
-            let chunk_t0 = self.profiled.as_ref().map(|_| Instant::now());
-            let end = (start + self.chunk).min(self.n);
+            // Time the chunk when profiling, and also while the adaptive
+            // sizer still needs its first measurement.
+            let measuring = !self.sized.load(SeqCst);
+            let chunk_t0 = (measuring || self.profiled.is_some()).then(Instant::now);
+            let end = (start + chunk).min(self.n);
             // SAFETY: the submitting call blocks until `finished()`, so the
             // closure behind `task` is alive for the whole chunk.
             let f = unsafe { &*self.task.0 };
@@ -206,7 +266,13 @@ impl Job {
                 }
             }));
             if let Some(t0) = chunk_t0 {
-                profile::emit(PoolEvent::Chunk, t0.elapsed().as_nanos() as u64);
+                let ns = t0.elapsed().as_nanos() as u64;
+                if self.profiled.is_some() {
+                    profile::emit(PoolEvent::Chunk, ns);
+                }
+                if measuring && !self.sized.swap(true, SeqCst) {
+                    self.resize_from_measurement(ns, end - start);
+                }
             }
             if let Err(payload) = result {
                 // Poison: stop handing out chunks, keep the first payload.
@@ -224,6 +290,33 @@ impl Job {
             let _guard = self.done.lock().unwrap();
             self.done_cv.notify_all();
         }
+    }
+
+    /// Adaptive sizing: from the first measured chunk, pick the chunk that
+    /// amortizes [`TARGET_CHUNK_NS`] per claim. Racing claims that still
+    /// read the probe size merely produce one more small chunk — claims
+    /// stay disjoint regardless.
+    fn resize_from_measurement(&self, chunk_ns: u64, items: usize) {
+        let per_item = (chunk_ns / items.max(1) as u64).max(1);
+        let ideal = (TARGET_CHUNK_NS / per_item).max(1);
+        let sized = ideal.min(self.chunk_cap as u64) as usize;
+        self.chunk.store(sized.max(1), SeqCst);
+    }
+}
+
+/// Chunk size for a job of `n` items across `width` participants.
+///
+/// With a cost hint, one chunk ≈ [`TARGET_CHUNK_NS`] of work; without one,
+/// the classic `n / (width·4)` probe that the adaptive path refines after
+/// its first measurement. Both are clamped to `[1, ceil(n / width)]` so
+/// tiny inputs still parallelize and every participant can claim work.
+fn initial_chunk(n: usize, width: usize, cost_hint_ns: u64) -> (usize, bool) {
+    let cap = n.div_ceil(width);
+    if cost_hint_ns > 0 {
+        let ideal = (TARGET_CHUNK_NS / cost_hint_ns).max(1);
+        (ideal.min(cap as u64) as usize, true)
+    } else {
+        ((n / (width * 4)).clamp(1, cap), false)
     }
 }
 
@@ -250,6 +343,7 @@ fn pool() -> &'static Pool {
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
             work_cv: Condvar::new(),
+            mailbox: RwLock::new(None),
         });
         for w in 0..size.saturating_sub(1) {
             let shared = Arc::clone(&shared);
@@ -262,32 +356,130 @@ fn pool() -> &'static Pool {
     })
 }
 
+/// Monotonic nanoseconds since the first call — the production clock of
+/// [`ParkTracker`] (fn-pointer clocks cannot capture an `Instant`).
+fn monotonic_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// Coalesces a worker's idle time into one `Park` span per *episode*: from
+/// the first condvar wait until the worker actually claims a job. Spurious
+/// or fruitless wakeups (the condvar fired but another thread drained the
+/// job, or the job is at its participation cap) neither end the episode
+/// nor emit a span of their own — previously each wakeup emitted one span,
+/// fragmenting and inflating park attribution under capped sweeps where
+/// most workers wake on every submission and can never participate.
+///
+/// The emitted duration is additionally clamped to the claimed job's
+/// availability window: an episode that began while the pool was quiescent
+/// (the application between parallel sections) only charges the stretch
+/// *after* the job was submitted. Park attribution therefore measures
+/// "work existed and this thread could not get to it", never plain
+/// application-sequential idle time.
+///
+/// The gate/sink/clock are injected so the episode logic is unit-testable
+/// with a counting clock (see the tests below); production wiring is
+/// [`ParkTracker::new`].
+struct ParkTracker {
+    gate: fn() -> bool,
+    sink: fn(PoolEvent, u64),
+    clock: fn() -> u64,
+    /// Clock reading at the first wait of the open episode.
+    episode_start: Option<u64>,
+}
+
+impl ParkTracker {
+    fn new() -> Self {
+        Self::with_hooks(profile::active, profile::emit, monotonic_ns)
+    }
+
+    fn with_hooks(gate: fn() -> bool, sink: fn(PoolEvent, u64), clock: fn() -> u64) -> Self {
+        Self {
+            gate,
+            sink,
+            clock,
+            episode_start: None,
+        }
+    }
+
+    /// The worker is about to block on the work condvar. Starts an episode
+    /// unless one is already open (a wakeup that found nothing runnable).
+    fn on_wait_start(&mut self) {
+        if self.episode_start.is_none() && (self.gate)() {
+            self.episode_start = Some((self.clock)());
+        }
+    }
+
+    /// The worker claimed a runnable job: close the episode, if any, and
+    /// emit exactly one `Park` span covering the idle stretch, clamped to
+    /// begin no earlier than `available_since` (the job's submission).
+    fn on_claim(&mut self, available_since: u64) {
+        if let Some(t0) = self.episode_start.take() {
+            let start = t0.max(available_since);
+            (self.sink)(PoolEvent::Park, ((self.clock)()).saturating_sub(start));
+        }
+    }
+}
+
 fn worker_loop(shared: Arc<Shared>) {
+    let mut park = ParkTracker::new();
     loop {
+        // Claim fast-path: the latest live job, through the shared read
+        // lock only. Misses (no mailbox job, finished, or at cap) fall
+        // back to the queue scan below.
+        let fast = shared.mailbox.read().unwrap().clone();
+        if let Some(job) = fast {
+            if job.claimable() {
+                park.on_claim(job.submitted_ns);
+                job.participate();
+                continue;
+            }
+        }
         let job = {
             let mut queue = shared.queue.lock().unwrap();
             loop {
                 // Exhausted jobs are dead weight; drop them here so the
                 // queue never grows beyond the set of live jobs.
                 queue.retain(|j| j.next.load(SeqCst) < j.n);
-                let runnable = queue
-                    .iter()
-                    .find(|j| j.active.load(SeqCst) < j.max_active)
-                    .cloned();
+                let runnable = queue.iter().find(|j| j.claimable()).cloned();
                 match runnable {
                     Some(j) => break j,
                     None => {
-                        let park_t0 = profile::active().then(Instant::now);
+                        park.on_wait_start();
                         queue = shared.work_cv.wait(queue).unwrap();
-                        if let Some(t0) = park_t0 {
-                            profile::emit(PoolEvent::Park, t0.elapsed().as_nanos() as u64);
-                        }
                     }
                 }
             }
         };
+        park.on_claim(job.submitted_ns);
         job.participate();
     }
+}
+
+/// Sequential execution of a job that never reaches the pool. When
+/// profiling is on, it still emits the pool's phase set (`QueueWait`,
+/// `Chunk`, `Submit`) so a 1-thread sweep's profile is structurally
+/// comparable to a parallel sweep's — previously the fallback paths
+/// emitted nothing and cross-thread-count profiles were apples-to-oranges.
+/// With profiling off this is the bare loop: no clock reads, no emission.
+fn run_inline(n: usize, f: &(dyn Fn(usize) + Sync)) {
+    if !profile::active() {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    let t0 = Instant::now();
+    // Inline execution never queues, so the queue-wait is zero by
+    // construction; emitting it keeps the phase *set* identical.
+    profile::emit(PoolEvent::QueueWait, 0);
+    for i in 0..n {
+        f(i);
+    }
+    let ns = t0.elapsed().as_nanos() as u64;
+    profile::emit(PoolEvent::Chunk, ns);
+    profile::emit(PoolEvent::Submit, t0.elapsed().as_nanos() as u64);
 }
 
 /// Execute `f(i)` for every `i in 0..n` on the global pool, blocking until
@@ -295,29 +487,36 @@ fn worker_loop(shared: Arc<Shared>) {
 /// traffic) when the effective parallelism is 1 or `n < 2`. Re-raises the
 /// first panic any item produced.
 pub(crate) fn run_indexed(n: usize, f: &(dyn Fn(usize) + Sync)) {
+    run_indexed_with_cost(n, 0, f)
+}
+
+/// [`run_indexed`] with a caller-supplied per-item cost hint in
+/// nanoseconds (`0` = unknown; measure and adapt). The hint sizes chunks
+/// up front and routes jobs too small to amortize a pool round-trip to the
+/// inline path.
+pub(crate) fn run_indexed_with_cost(n: usize, cost_hint_ns: u64, f: &(dyn Fn(usize) + Sync)) {
     if n == 0 {
         return;
     }
     let cap = MAX_THREADS.with(|c| c.get());
     if cap <= 1 {
         // Fully capped: don't even touch (or initialize) the pool.
-        for i in 0..n {
-            f(i);
-        }
+        run_inline(n, f);
+        return;
+    }
+    if cost_hint_ns > 0 && (n as u64).saturating_mul(cost_hint_ns) < MIN_PARALLEL_NS {
+        // The whole job is cheaper than the submission handshake.
+        run_inline(n, f);
         return;
     }
     let pool = pool();
     let width = pool.size.min(cap);
     if width <= 1 || n < 2 {
-        for i in 0..n {
-            f(i);
-        }
+        run_inline(n, f);
         return;
     }
 
-    // ~4 chunks per participant balances uneven item costs against
-    // fetch_add traffic; clamp to 1 so tiny inputs still parallelize.
-    let chunk = (n / (width * 4)).max(1);
+    let (chunk, sized) = initial_chunk(n, width, cost_hint_ns);
     // SAFETY: lifetime erasure; this call does not return until every
     // chunk has retired, so `f` outlives all uses.
     let task: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
@@ -325,7 +524,9 @@ pub(crate) fn run_indexed(n: usize, f: &(dyn Fn(usize) + Sync)) {
     let job = Arc::new(Job {
         task: TaskPtr(task as *const _),
         n,
-        chunk,
+        chunk: AtomicUsize::new(chunk),
+        chunk_cap: n.div_ceil(width),
+        sized: AtomicBool::new(sized),
         max_active: width,
         next: AtomicUsize::new(0),
         active: AtomicUsize::new(0),
@@ -333,13 +534,21 @@ pub(crate) fn run_indexed(n: usize, f: &(dyn Fn(usize) + Sync)) {
         done: Mutex::new(()),
         done_cv: Condvar::new(),
         profiled: profiled.then(|| (Instant::now(), AtomicBool::new(false))),
+        submitted_ns: monotonic_ns(),
     });
 
     {
         let mut queue = pool.shared.queue.lock().unwrap();
         queue.push_back(Arc::clone(&job));
     }
-    pool.shared.work_cv.notify_all();
+    *pool.shared.mailbox.write().unwrap() = Some(Arc::clone(&job));
+    // Wake only as many workers as the job can use: `notify_all` on every
+    // submission stampedes the whole pool for jobs with a handful of
+    // chunks (most wakeups then find nothing claimable and re-park).
+    let useful = n.div_ceil(chunk).min(width).saturating_sub(1);
+    for _ in 0..useful {
+        pool.shared.work_cv.notify_one();
+    }
 
     // The submitter is a participant too — this both shares the work and
     // guarantees progress when every worker is busy (nested jobs).
@@ -356,9 +565,16 @@ pub(crate) fn run_indexed(n: usize, f: &(dyn Fn(usize) + Sync)) {
         profile::emit(PoolEvent::Submit, t0.elapsed().as_nanos() as u64);
     }
 
-    // The job may still sit in the queue (exhausted); remove it so the
-    // queue holds no stale task pointers. Workers that already cloned the
-    // Arc only ever read the atomics of an exhausted job, never the task.
+    // Retire the job from the mailbox (a later submission may already have
+    // replaced it) and the queue, so neither holds stale task pointers.
+    // Workers that already cloned the Arc only ever read the atomics of an
+    // exhausted job, never the task.
+    {
+        let mut mailbox = pool.shared.mailbox.write().unwrap();
+        if mailbox.as_ref().is_some_and(|j| Arc::ptr_eq(j, &job)) {
+            *mailbox = None;
+        }
+    }
     {
         let mut queue = pool.shared.queue.lock().unwrap();
         queue.retain(|j| !Arc::ptr_eq(j, &job));
@@ -367,5 +583,129 @@ pub(crate) fn run_indexed(n: usize, f: &(dyn Fn(usize) + Sync)) {
     let payload = job.panic.lock().unwrap().take();
     if let Some(payload) = payload {
         std::panic::resume_unwind(payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    /// Counting clock: each read advances one tick.
+    fn counting_clock() -> u64 {
+        static TICKS: AtomicU64 = AtomicU64::new(0);
+        TICKS.fetch_add(1, SeqCst)
+    }
+
+    static PARK_SPANS: AtomicUsize = AtomicUsize::new(0);
+    static PARK_NS: AtomicU64 = AtomicU64::new(0);
+
+    fn recording_sink(event: PoolEvent, ns: u64) {
+        if event == PoolEvent::Park {
+            PARK_SPANS.fetch_add(1, SeqCst);
+            PARK_NS.fetch_add(ns, SeqCst);
+        }
+    }
+
+    #[test]
+    fn park_episode_emits_one_span_across_spurious_wakeups() {
+        let mut tracker = ParkTracker::with_hooks(|| true, recording_sink, counting_clock);
+        PARK_SPANS.store(0, SeqCst);
+        PARK_NS.store(0, SeqCst);
+
+        // One episode: first wait, three fruitless wakeups re-entering the
+        // wait, then a successful claim. Exactly one span.
+        tracker.on_wait_start();
+        tracker.on_wait_start();
+        tracker.on_wait_start();
+        tracker.on_wait_start();
+        tracker.on_claim(0);
+        assert_eq!(PARK_SPANS.load(SeqCst), 1, "one span per park episode");
+        // Counting clock: start read at tick 0, close read at tick 1 (the
+        // fruitless wakeups read no clock at all).
+        assert_eq!(PARK_NS.load(SeqCst), 1);
+
+        // A claim without an open episode (fast-path hit while never
+        // having parked) emits nothing.
+        tracker.on_claim(0);
+        assert_eq!(PARK_SPANS.load(SeqCst), 1);
+
+        // A second full episode emits a second span.
+        tracker.on_wait_start();
+        tracker.on_claim(0);
+        assert_eq!(PARK_SPANS.load(SeqCst), 2);
+    }
+
+    #[test]
+    fn park_episode_is_clamped_to_job_availability() {
+        let mut tracker = ParkTracker::with_hooks(|| true, recording_sink, counting_clock);
+        PARK_SPANS.store(0, SeqCst);
+        PARK_NS.store(0, SeqCst);
+
+        // Episode opens first; the claimed job was submitted far later.
+        // Only the post-submission stretch counts, so the clamped span
+        // saturates to zero.
+        tracker.on_wait_start();
+        tracker.on_claim(u64::MAX - 1);
+        assert_eq!(PARK_SPANS.load(SeqCst), 1);
+        assert_eq!(PARK_NS.load(SeqCst), 0, "pre-submission idle not charged");
+
+        // A job submitted before the episode opened charges the full wait.
+        tracker.on_wait_start();
+        tracker.on_claim(0);
+        assert_eq!(PARK_SPANS.load(SeqCst), 2);
+        assert_eq!(PARK_NS.load(SeqCst), 1);
+    }
+
+    #[test]
+    fn park_tracker_is_inert_when_gate_is_closed() {
+        let mut tracker = ParkTracker::with_hooks(|| false, recording_sink, counting_clock);
+        let before = PARK_SPANS.load(SeqCst);
+        tracker.on_wait_start();
+        tracker.on_claim(0);
+        assert_eq!(PARK_SPANS.load(SeqCst), before);
+    }
+
+    #[test]
+    fn initial_chunk_honors_cost_hints_and_clamps() {
+        // Unknown cost: the classic probe guess, clamped to [1, ceil(n/w)].
+        assert_eq!(initial_chunk(1024, 4, 0), (64, false));
+        assert_eq!(initial_chunk(3, 4, 0), (1, false));
+        // Cheap items: one chunk ≈ TARGET_CHUNK_NS of work...
+        assert_eq!(initial_chunk(100_000, 4, 100), (2_000, true));
+        // ...but never fewer than one chunk per participant.
+        assert_eq!(initial_chunk(1_000, 4, 1), (250, true));
+        // Expensive items: single-item chunks.
+        assert_eq!(initial_chunk(64, 4, u64::MAX), (1, true));
+        assert_eq!(initial_chunk(64, 4, TARGET_CHUNK_NS * 10), (1, true));
+    }
+
+    #[test]
+    fn adaptive_resize_targets_chunk_budget() {
+        let noop: &'static (dyn Fn(usize) + Sync) = &|_| {};
+        let job = Job {
+            task: TaskPtr(noop as *const _),
+            n: 10_000,
+            chunk: AtomicUsize::new(10),
+            chunk_cap: 2_500,
+            sized: AtomicBool::new(false),
+            max_active: 4,
+            next: AtomicUsize::new(0),
+            active: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+            done: Mutex::new(()),
+            done_cv: Condvar::new(),
+            profiled: None,
+            submitted_ns: 0,
+        };
+        // 10 items took 10µs → 1µs/item → 200 items per 200µs chunk.
+        job.resize_from_measurement(10_000, 10);
+        assert_eq!(job.chunk.load(SeqCst), 200);
+        // A glacial first chunk clamps to 1, never 0.
+        job.resize_from_measurement(u64::MAX / 2, 1);
+        assert_eq!(job.chunk.load(SeqCst), 1);
+        // A free first chunk clamps to the per-participant cap.
+        job.resize_from_measurement(0, 1_000);
+        assert_eq!(job.chunk.load(SeqCst), 2_500);
     }
 }

@@ -19,7 +19,10 @@ use std::sync::OnceLock;
 pub enum PoolEvent {
     /// Delay between a job's submission and its first claimed chunk.
     QueueWait,
-    /// A worker slept on the work condvar (one event per wakeup).
+    /// A worker's full idle episode on the work condvar: from its first
+    /// wait to the claim that put it back to work. Spurious or fruitless
+    /// wakeups in between are coalesced into the same event, so one
+    /// episode is never fragmented into many small spans.
     Park,
     /// One claimed chunk of an indexed job was executed.
     Chunk,
