@@ -101,6 +101,9 @@ pub enum Phase {
     Fsync,
     /// Service: atomic replace of `session.json` (tmp + fsync + rename).
     SessionReplace,
+    /// Service: batched group-commit synchronization at the daemon's round
+    /// barrier — one pass making every staged write durable.
+    SyncBarrier,
     /// Service: daemon spool scan discovering session directories.
     SpoolScan,
     /// Service: daemon scheduling — one round's dispatch and barrier
@@ -109,7 +112,7 @@ pub enum Phase {
 }
 
 /// Number of phases — length of every per-thread accumulator array.
-pub const NUM_PHASES: usize = 20;
+pub const NUM_PHASES: usize = 21;
 
 impl Phase {
     /// Every phase, in report order.
@@ -132,6 +135,7 @@ impl Phase {
         Phase::TraceAppend,
         Phase::Fsync,
         Phase::SessionReplace,
+        Phase::SyncBarrier,
         Phase::SpoolScan,
         Phase::Schedule,
     ];
@@ -157,6 +161,7 @@ impl Phase {
             Phase::TraceAppend => "trace_append",
             Phase::Fsync => "fsync",
             Phase::SessionReplace => "session_replace",
+            Phase::SyncBarrier => "sync_barrier",
             Phase::SpoolScan => "spool_scan",
             Phase::Schedule => "schedule",
         }

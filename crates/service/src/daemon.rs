@@ -87,6 +87,13 @@ pub struct DaemonConfig {
     /// concatenating the segments in order is byte-identical to the
     /// single-file trace, whatever the cap.
     pub trace_segment_bytes: Option<u64>,
+    /// Group-commit durability (default on): sessions stage their slice
+    /// artifacts and the round barrier makes them durable in one batched
+    /// [`Vfs::sync_barrier`] pass — O(1) filesystem synchronization per
+    /// round instead of O(active sessions) per-file fsyncs, with the
+    /// same crash-order contract and byte-identical artifacts. `false`
+    /// restores the eager per-slice fsync discipline.
+    pub group_commit: bool,
 }
 
 impl DaemonConfig {
@@ -101,6 +108,7 @@ impl DaemonConfig {
             vfs: Arc::new(RealVfs),
             retry: RetryPolicy::default(),
             trace_segment_bytes: None,
+            group_commit: true,
         }
     }
 }
@@ -192,11 +200,60 @@ pub struct DaemonSummary {
     pub io_faults_injected: u64,
     /// Rounds executed by this run.
     pub rounds: u64,
+    /// File syncs made durable through batched group-commit barriers.
+    /// Zero in eager mode (every sync then pays its own fsync inline).
+    pub io_syncs_batched: u64,
+    /// Group-commit barrier latency distribution. All-zero in eager mode.
+    pub sync_barrier: SyncBarrierStats,
     /// Wall-clock of this run in milliseconds.
     pub wall_ms: f64,
     /// Per-session completion latency (ms since run start), one entry per
     /// session that finished during this run, in submission order.
     pub session_wall_ms: Vec<f64>,
+}
+
+/// Latency distribution of the group-commit barriers a run executed
+/// (wall-clock, summary/metrics only — never in deterministic
+/// artifacts). All fields zero when no barrier ran (eager mode, or a
+/// run with nothing to commit).
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct SyncBarrierStats {
+    /// Barriers executed (including the end-of-run flush).
+    pub count: u64,
+    /// Median barrier latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile barrier latency, milliseconds.
+    pub p99_ms: f64,
+    /// Slowest barrier, milliseconds.
+    pub max_ms: f64,
+    /// Total time inside barriers, milliseconds.
+    pub total_ms: f64,
+}
+
+impl SyncBarrierStats {
+    /// Summarize a run's per-barrier wall-clock samples.
+    fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let at = |q: f64| {
+            sorted[((q * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1)]
+        };
+        SyncBarrierStats {
+            count: samples.len() as u64,
+            p50_ms: at(0.5),
+            p99_ms: at(0.99),
+            max_ms: *sorted.last().expect("non-empty"),
+            total_ms: samples.iter().sum(),
+        }
+    }
+
+    /// True when no barrier ever ran (the eager-mode invariant).
+    pub fn is_zero(&self) -> bool {
+        self.count == 0 && self.total_ms == 0.0
+    }
 }
 
 impl DaemonSummary {
@@ -255,6 +312,10 @@ pub struct Daemon {
     scenarios: HashMap<String, Arc<ScenarioData>>,
     /// Storage retries performed on the spool / workdir (not sessions).
     spool_retries: u64,
+    /// File syncs made durable through batched barriers this run.
+    io_syncs_batched: u64,
+    /// Wall-clock of each group-commit barrier, milliseconds.
+    barrier_ms: Vec<f64>,
 }
 
 impl Daemon {
@@ -270,6 +331,8 @@ impl Daemon {
             budgets: Vec::new(),
             scenarios: HashMap::new(),
             spool_retries: 0,
+            io_syncs_batched: 0,
+            barrier_ms: Vec::new(),
         };
         let workdir = daemon.config.workdir.clone();
         daemon.spooling(StorageOp::CreateDir, workdir.clone(), |vfs, p| {
@@ -394,6 +457,10 @@ impl Daemon {
             self.config.retry,
             self.config.trace_segment_bytes,
         )
+        .map(|mut runner| {
+            runner.set_group_commit(self.config.group_commit);
+            runner
+        })
         .map_err(|error| DaemonError::Session {
             job: "<open>".into(),
             error,
@@ -440,6 +507,48 @@ impl Daemon {
         }
     }
 
+    /// The group commit executed inside every round barrier: one batched
+    /// [`Vfs::sync_barrier`] makes every session's staged bytes — trace
+    /// appends and the `<doc>.tmp` of staged replaces — durable in a
+    /// single pass, then each session publishes its staged renames and
+    /// promotes its checkpoint/report. The two-phase order *is* the
+    /// crash contract: no `session.json` (or `report.json`) becomes
+    /// visible before the trace bytes it vouches for are durable. A path
+    /// the batched pass fails is retried individually through its owning
+    /// session's budget; exhaustion quarantines that session alone, and
+    /// the epoch commits for everyone else.
+    fn group_commit(&mut self) {
+        if !self.config.group_commit {
+            return;
+        }
+        let mut flat: Vec<PathBuf> = Vec::new();
+        let mut owner: Vec<usize> = Vec::new();
+        for (i, s) in self.sessions.iter().enumerate() {
+            if !s.is_active() {
+                continue; // errored slices discard their stage at commit
+            }
+            for p in s.staged_sync_paths() {
+                flat.push(p);
+                owner.push(i);
+            }
+        }
+        if !flat.is_empty() {
+            let barrier_start = Instant::now();
+            let results = self.config.vfs.sync_barrier(&flat);
+            for (k, result) in results.into_iter().enumerate() {
+                if result.is_err() {
+                    self.sessions[owner[k]].retry_staged_sync(&flat[k]);
+                }
+            }
+            self.io_syncs_batched += flat.len() as u64;
+            self.barrier_ms
+                .push(barrier_start.elapsed().as_secs_f64() * 1e3);
+        }
+        for s in &mut self.sessions {
+            s.commit_epoch();
+        }
+    }
+
     /// Drive all sessions to completion (or to `halt_after_rounds`),
     /// returning the run's accounting. Per-session faults and panics
     /// quarantine that one session at the next round barrier; the run
@@ -480,9 +589,12 @@ impl Daemon {
                 }
             });
             rounds += 1;
-            // Round barrier: quarantines first, then budgets (which may
+            // Round barrier: group commit first (staged bytes become
+            // durable and vouched for — budgets only ever charge durable
+            // slices), then quarantines, then budgets (which may
             // themselves latch write failures), then latency.
             let barrier_span = mwu_core::prof::span(mwu_core::prof::Phase::Schedule);
+            self.group_commit();
             self.absorb_failures();
             self.enforce_budgets();
             self.absorb_failures();
@@ -493,6 +605,23 @@ impl Daemon {
                     s.wall_ms = Some(elapsed_ms);
                 }
             }
+        }
+        // End-of-run flush: the last epoch's renames (published reports,
+        // replaced session.json files) ride the *next* barrier on Linux's
+        // syncfs path — there is none after the final round, so issue one
+        // covering the work directory before the summary claims anything
+        // finished. Persistent failure is daemon-level, like the spool.
+        if self.config.group_commit && rounds > 0 {
+            let flush_start = Instant::now();
+            let workdir = self.config.workdir.clone();
+            self.spooling(StorageOp::SyncFile, workdir, |vfs, p| {
+                vfs.sync_barrier(std::slice::from_ref(&p.to_path_buf()))
+                    .pop()
+                    .unwrap_or(Ok(()))
+            })?;
+            self.io_syncs_batched += 1;
+            self.barrier_ms
+                .push(flush_start.elapsed().as_secs_f64() * 1e3);
         }
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
         let mut completed = 0;
@@ -533,6 +662,8 @@ impl Daemon {
             io_retries,
             io_faults_injected: self.config.vfs.injected_faults(),
             rounds,
+            io_syncs_batched: self.io_syncs_batched,
+            sync_barrier: SyncBarrierStats::from_samples(&self.barrier_ms),
             wall_ms,
             session_wall_ms,
         };

@@ -301,9 +301,42 @@ pub struct SessionRunner {
     quarantine: Option<QuarantineRecord>,
     /// Storage retries performed on this session's behalf.
     io_retries: u64,
+    /// Deferred-durability mode: slice artifacts are staged and only made
+    /// durable (and vouched for) at the daemon's group-commit barrier.
+    group_commit: bool,
+    /// Artifacts staged in the current durability epoch.
+    staged: EpochStage,
     /// Wall-clock from daemon start to the completion barrier, filled in
     /// by the daemon. Summary-only: never written into the work dir.
     pub(crate) wall_ms: Option<f64>,
+}
+
+/// Slice artifacts staged during one durability epoch (group-commit
+/// mode): bytes written since the last round barrier that are not yet
+/// durable and not yet vouched for. The barrier makes `appends` and the
+/// `<doc>.tmp` files durable in one batched pass; `commit_epoch` then
+/// publishes the staged replaces and promotes checkpoint/report state.
+#[derive(Debug, Default)]
+struct EpochStage {
+    /// Trace segments this epoch appended to (barrier sync targets).
+    appends: Vec<PathBuf>,
+    /// Final paths of staged atomic replaces, in commit order; each has
+    /// a written-but-unsynced `<path>.tmp` until the barrier.
+    docs: Vec<PathBuf>,
+    /// Files to remove once the staged replaces have committed (the
+    /// spent `session.json` after a completion).
+    removals: Vec<PathBuf>,
+    /// Staged `session.json` vouch: `(trace_len, checkpoint)` to promote
+    /// into `durable_trace_len` / `checkpoint` at commit.
+    meta: Option<(u64, Checkpoint)>,
+    /// Staged completion report, promoted at commit.
+    report: Option<SessionReport>,
+}
+
+impl EpochStage {
+    fn is_empty(&self) -> bool {
+        self.appends.is_empty() && self.docs.is_empty() && self.removals.is_empty()
+    }
 }
 
 impl SessionRunner {
@@ -380,6 +413,8 @@ impl SessionRunner {
             error: None,
             quarantine: None,
             io_retries: 0,
+            group_commit: false,
+            staged: EpochStage::default(),
             wall_ms: None,
         };
         if let Err(e) = runner.reconcile_disk() {
@@ -506,10 +541,15 @@ impl SessionRunner {
         } else {
             // Fresh session (or a crash before the first meta write):
             // the trace restarts from byte zero, with no stray segments.
+            // An absent or already-empty trace needs no truncate — and no
+            // fsync: nothing vouches for byte zero, so a crash here just
+            // re-runs this same reconciliation.
             let trace = self.trace_path();
-            self.retrying(StorageOp::Truncate, &trace, |vfs| {
-                vfs.truncate_sync(&trace, 0)
-            })?;
+            if self.retrying(StorageOp::Len, &trace, |vfs| vfs.file_len(&trace))? > 0 {
+                self.retrying(StorageOp::Truncate, &trace, |vfs| {
+                    vfs.truncate_sync(&trace, 0)
+                })?;
+            }
             self.remove_segments_from(1)?;
         }
         Ok(())
@@ -758,34 +798,136 @@ impl SessionRunner {
                 doc.push('\n');
                 let path = self.meta_path();
                 let _span = mwu_core::prof::span(mwu_core::prof::Phase::SessionReplace);
-                self.retrying(StorageOp::AtomicWrite, &path, |vfs| {
-                    vfs.write_atomic(&path, doc.as_bytes())
-                })?;
-                self.durable_trace_len = meta.trace_len;
-                self.checkpoint = Some(meta.checkpoint);
+                if self.group_commit {
+                    // Stage the vouch: the tmp is written now, but the
+                    // rename (and the checkpoint promotion that lets
+                    // budgets charge this slice) waits for the barrier
+                    // that makes the trace bytes it vouches for durable.
+                    self.retrying(StorageOp::AtomicWrite, &path, |vfs| {
+                        vfs.write_atomic_deferred(&path, doc.as_bytes())
+                    })?;
+                    self.staged.docs.push(path);
+                    self.staged.meta = Some((meta.trace_len, meta.checkpoint));
+                } else {
+                    self.retrying(StorageOp::AtomicWrite, &path, |vfs| {
+                        vfs.write_atomic(&path, doc.as_bytes())
+                    })?;
+                    self.durable_trace_len = meta.trace_len;
+                    self.checkpoint = Some(meta.checkpoint);
+                }
             }
             SessionResult::Complete(outcome) => {
                 let report = SessionReport::completed(&self.job, outcome);
                 let mut doc = report.to_json();
                 doc.push('\n');
                 let path = self.report_path();
-                self.retrying(StorageOp::AtomicWrite, &path, |vfs| {
-                    vfs.write_atomic(&path, doc.as_bytes())
-                })?;
-                // The checkpoint is spent; its absence (with a report
-                // present) is unambiguous on reload. The removal goes
-                // through the same retry path so a hostile disk can't
-                // silently leave stale state — exhaustion quarantines,
-                // and the next fault-free open heals the leftovers.
-                let meta = self.meta_path();
-                if self.vfs.exists(&meta) {
-                    self.retrying(StorageOp::Remove, &meta, |vfs| vfs.remove_file(&meta))?;
+                if self.group_commit {
+                    self.retrying(StorageOp::AtomicWrite, &path, |vfs| {
+                        vfs.write_atomic_deferred(&path, doc.as_bytes())
+                    })?;
+                    self.staged.docs.push(path);
+                    self.staged.removals.push(self.meta_path());
+                    self.staged.report = Some(report);
+                } else {
+                    self.retrying(StorageOp::AtomicWrite, &path, |vfs| {
+                        vfs.write_atomic(&path, doc.as_bytes())
+                    })?;
+                    // The checkpoint is spent; its absence (with a report
+                    // present) is unambiguous on reload. The removal goes
+                    // through the same retry path so a hostile disk can't
+                    // silently leave stale state — exhaustion quarantines,
+                    // and the next fault-free open heals the leftovers.
+                    let meta = self.meta_path();
+                    if self.vfs.exists(&meta) {
+                        self.retrying(StorageOp::Remove, &meta, |vfs| vfs.remove_file(&meta))?;
+                    }
+                    self.durable_trace_len = self.trace_len;
+                    self.report = Some(report);
                 }
-                self.durable_trace_len = self.trace_len;
-                self.report = Some(report);
             }
         }
         Ok(())
+    }
+
+    /// Switch this runner to deferred durability: slice artifacts are
+    /// staged, the daemon's round barrier makes them durable in one
+    /// batched [`Vfs::sync_barrier`] pass, and [`SessionRunner::commit_epoch`]
+    /// then publishes them. Off by default — standalone runners (and
+    /// `mwrepair_run`) keep the eager per-slice fsync discipline.
+    pub fn set_group_commit(&mut self, enabled: bool) {
+        self.group_commit = enabled;
+    }
+
+    /// Paths whose staged bytes this epoch's barrier must make durable:
+    /// the trace segments appended to plus the `<doc>.tmp` of every
+    /// staged atomic replace. A vfs whose `write_atomic_deferred` falls
+    /// back to the eager default leaves no tmp behind (the rename
+    /// already happened); the sync target is then the final path.
+    /// Empty outside group-commit mode.
+    pub(crate) fn staged_sync_paths(&self) -> Vec<PathBuf> {
+        let mut paths = self.staged.appends.clone();
+        paths.extend(self.staged.docs.iter().map(|d| {
+            let tmp = tmp_path(d);
+            if self.vfs.exists(&tmp) {
+                tmp
+            } else {
+                d.clone()
+            }
+        }));
+        paths
+    }
+
+    /// Re-run one staged path's barrier sync individually after the
+    /// batched pass failed for it, under the session's retry policy.
+    /// Exhaustion latches the error: the next barrier quarantines this
+    /// session alone, without aborting the rest of the epoch.
+    pub(crate) fn retry_staged_sync(&mut self, path: &Path) {
+        if self.error.is_some() {
+            return;
+        }
+        let p = path.to_path_buf();
+        if let Err(e) = self.retrying(StorageOp::SyncFile, &p, |vfs| vfs.sync_file(&p)) {
+            self.latch(e);
+        }
+    }
+
+    /// Commit the current durability epoch after the barrier made its
+    /// staged bytes durable: publish staged replaces (rename
+    /// `<doc>.tmp` over `<doc>`), apply staged removals, then promote
+    /// the staged checkpoint/report — the order that keeps the vouch
+    /// contract (no `session.json` durable before its trace bytes).
+    /// Sessions with a latched error discard their stage instead:
+    /// `durable_trace_len` stays at the last vouched value, so the
+    /// quarantine post-mortem and a later re-arm see exactly the durable
+    /// prefix. No-op when nothing is staged.
+    pub(crate) fn commit_epoch(&mut self) {
+        let stage = std::mem::take(&mut self.staged);
+        if stage.is_empty() || self.error.is_some() {
+            return;
+        }
+        for doc in &stage.docs {
+            if let Err(e) = self.retrying(StorageOp::Rename, doc, |vfs| vfs.commit_atomic(doc)) {
+                self.latch(e);
+                return;
+            }
+        }
+        for path in &stage.removals {
+            if self.vfs.exists(path) {
+                if let Err(e) = self.retrying(StorageOp::Remove, path, |vfs| vfs.remove_file(path))
+                {
+                    self.latch(e);
+                    return;
+                }
+            }
+        }
+        if let Some((trace_len, checkpoint)) = stage.meta {
+            self.durable_trace_len = trace_len;
+            self.checkpoint = Some(checkpoint);
+        }
+        if let Some(report) = stage.report {
+            self.durable_trace_len = self.trace_len;
+            self.report = Some(report);
+        }
     }
 
     /// Finish the session as budget-exhausted: write the durable report
@@ -887,6 +1029,7 @@ impl SessionRunner {
         let path = self.trace_segment_path(target);
         let expect = self.segments[target];
         let mut first = true;
+        let deferred = self.group_commit;
         self.retrying(StorageOp::Append, &path, |vfs| {
             // A failed attempt may have persisted a torn prefix; restore
             // the file to the known-good length before re-appending so
@@ -896,8 +1039,15 @@ impl SessionRunner {
                 vfs.truncate_sync(&path, expect)?;
             }
             first = false;
-            vfs.append_sync(&path, bytes)
+            if deferred {
+                vfs.append_deferred(&path, bytes)
+            } else {
+                vfs.append_sync(&path, bytes)
+            }
         })?;
+        if deferred {
+            self.staged.appends.push(path);
+        }
         self.segments[target] += bytes.len() as u64;
         self.trace_len += bytes.len() as u64;
         Ok(())

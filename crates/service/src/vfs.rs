@@ -72,6 +72,10 @@ pub enum StorageOp {
     Remove,
     /// Remove a directory tree.
     RemoveDir,
+    /// Barrier-time fsync of one staged file (group commit).
+    SyncFile,
+    /// Barrier-time rename finishing a staged atomic replace.
+    Rename,
 }
 
 impl StorageOp {
@@ -86,6 +90,8 @@ impl StorageOp {
             StorageOp::AtomicWrite => "atomic_write",
             StorageOp::Remove => "remove",
             StorageOp::RemoveDir => "remove_dir",
+            StorageOp::SyncFile => "sync_file",
+            StorageOp::Rename => "rename",
         }
     }
 
@@ -128,6 +134,59 @@ pub trait Vfs: fmt::Debug + Send + Sync {
     /// Total faults injected so far (0 for non-injecting implementations).
     fn injected_faults(&self) -> u64 {
         0
+    }
+
+    // --- Deferred durability (group commit) -------------------------------
+    //
+    // The staged write path: `append_deferred` / `write_atomic_deferred`
+    // put bytes on disk without waiting for durability, `sync_barrier`
+    // makes every staged byte durable in one batched pass, and
+    // `commit_atomic` then publishes staged replaces by renaming
+    // `<path>.tmp` over `path`. The crash-order contract is the caller's:
+    // never commit a replace whose content (or the data it vouches for)
+    // has not passed a barrier. Defaults fall back to the eager methods,
+    // which are strictly more durable, so wrapper implementations that
+    // only override the eager surface stay correct.
+
+    /// Stage an append (creating the file if missing) without fsync; a
+    /// later [`Vfs::sync_barrier`] or [`Vfs::sync_file`] makes it
+    /// durable. Default: eager [`Vfs::append_sync`].
+    fn append_deferred(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.append_sync(path, bytes)
+    }
+
+    /// Stage an atomic replace: write `<path>.tmp` without fsync and
+    /// without renaming. Commit order is `sync_barrier` (content
+    /// durable) then [`Vfs::commit_atomic`] (rename). Default: eager
+    /// [`Vfs::write_atomic`]; the matching [`Vfs::commit_atomic`]
+    /// default is then a no-op because no staged tmp remains.
+    fn write_atomic_deferred(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.write_atomic(path, bytes)
+    }
+
+    /// Make one staged path durable (fsync; directories allowed). The
+    /// barrier's per-path retry primitive. Default: open + `sync_all`.
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        let _span = mwu_core::prof::span(mwu_core::prof::Phase::SyncBarrier);
+        std::fs::File::open(path)?.sync_all()
+    }
+
+    /// Finish a staged atomic replace by renaming `<path>.tmp` over
+    /// `path`. Only call after the tmp content passed a barrier. No-op
+    /// when no tmp is staged (the eager `write_atomic_deferred` default
+    /// leaves none).
+    fn commit_atomic(&self, path: &Path) -> io::Result<()> {
+        let tmp = tmp_path(path);
+        if self.exists(&tmp) {
+            std::fs::rename(&tmp, path)?;
+        }
+        Ok(())
+    }
+
+    /// Make every staged write durable in one batched pass; one result
+    /// per path, index-aligned. Default: per-path [`Vfs::sync_file`].
+    fn sync_barrier(&self, paths: &[PathBuf]) -> Vec<io::Result<()>> {
+        paths.iter().map(|p| self.sync_file(p)).collect()
     }
 }
 
@@ -197,6 +256,101 @@ impl Vfs for RealVfs {
     fn exists(&self, path: &Path) -> bool {
         path.exists()
     }
+
+    fn append_deferred(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(path)?;
+        f.write_all(bytes)
+    }
+
+    fn write_atomic_deferred(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut f = std::fs::File::create(tmp_path(path))?;
+        f.write_all(bytes)
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        let _span = mwu_core::prof::span(mwu_core::prof::Phase::SyncBarrier);
+        std::fs::File::open(path)?.sync_all()
+    }
+
+    fn commit_atomic(&self, path: &Path) -> io::Result<()> {
+        std::fs::rename(tmp_path(path), path)?;
+        // On Linux the next barrier's syncfs (and the daemon's final
+        // flush) makes the rename durable; a lost rename replays one
+        // slice byte-identically. Elsewhere the barrier is per-file, so
+        // pay the directory fsync here.
+        #[cfg(not(target_os = "linux"))]
+        {
+            let _span = mwu_core::prof::span(mwu_core::prof::Phase::SyncBarrier);
+            sync_parent_dir(path)?;
+        }
+        Ok(())
+    }
+
+    fn sync_barrier(&self, paths: &[PathBuf]) -> Vec<io::Result<()>> {
+        if paths.is_empty() {
+            return Vec::new();
+        }
+        // One syncfs(2) covers every staged write on the filesystem in a
+        // single batched pass — the O(1) group commit. When the syscall
+        // is unavailable (non-Linux, exotic arch) or fails, fall back to
+        // per-file fsyncs with parent-directory coalescing.
+        {
+            let _span = mwu_core::prof::span(mwu_core::prof::Phase::SyncBarrier);
+            if syncfs_covering(&paths[0]).is_ok() {
+                return paths.iter().map(|_| Ok(())).collect();
+            }
+        }
+        let results: Vec<io::Result<()>> = paths.iter().map(|p| self.sync_file(p)).collect();
+        let mut dirs: Vec<&Path> = paths
+            .iter()
+            .filter_map(|p| p.parent())
+            .filter(|p| !p.as_os_str().is_empty())
+            .collect();
+        dirs.sort_unstable();
+        dirs.dedup();
+        for dir in dirs {
+            let _span = mwu_core::prof::span(mwu_core::prof::Phase::SyncBarrier);
+            let _ = std::fs::File::open(dir).and_then(|f| f.sync_all());
+        }
+        results
+    }
+}
+
+/// `syncfs(2)` on the filesystem holding `path`: flushes every dirty
+/// page and metadata entry of that filesystem to disk in one pass. The
+/// workspace has no `libc` stub, so the syscall is issued directly;
+/// other targets report `Unsupported` and the caller falls back to
+/// per-file fsyncs.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+#[allow(unsafe_code)] // raw syscall: std has no syncfs and there is no libc stub
+fn syncfs_covering(path: &Path) -> io::Result<()> {
+    use std::os::unix::io::AsRawFd;
+    const SYS_SYNCFS: u64 = 306;
+    let f = std::fs::File::open(path)?;
+    let mut ret: i64 = SYS_SYNCFS as i64;
+    unsafe {
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") ret,
+            in("rdi") f.as_raw_fd() as u64,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+    if ret < 0 {
+        Err(io::Error::from_raw_os_error(-ret as i32))
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+fn syncfs_covering(_path: &Path) -> io::Result<()> {
+    Err(io::Error::from(io::ErrorKind::Unsupported))
 }
 
 /// `<path>.tmp` — the staging name every atomic replace goes through.
@@ -460,6 +614,11 @@ pub struct FaultVfs {
     calls: Mutex<HashMap<(PathBuf, StorageOp), u32>>,
     /// Directories whose subtree fails persistently (post-fsync-lie).
     dead: Mutex<Vec<PathBuf>>,
+    /// Paths whose *staged* write drew an fsync lie: the stage call
+    /// already lost the tail, and the next barrier sync / commit on the
+    /// path reports success then kills the directory — a lying fsync
+    /// observed mid-barrier.
+    lied: Mutex<Vec<PathBuf>>,
     injected: AtomicU64,
 }
 
@@ -472,6 +631,7 @@ impl FaultVfs {
             root: None,
             calls: Mutex::new(HashMap::new()),
             dead: Mutex::new(Vec::new()),
+            lied: Mutex::new(Vec::new()),
             injected: AtomicU64::new(0),
         }
     }
@@ -549,6 +709,22 @@ impl FaultVfs {
 
     fn keep_len(bytes: &[u8], fraction: f64) -> usize {
         ((bytes.len() as f64 * fraction) as usize).min(bytes.len())
+    }
+
+    fn record_lie(&self, path: &Path) {
+        self.lied.lock().unwrap().push(path.to_path_buf());
+    }
+
+    /// Consume a pending staged-write lie on `path`, if any.
+    fn take_lie(&self, path: &Path) -> bool {
+        let mut lied = self.lied.lock().unwrap();
+        match lied.iter().position(|p| p == path) {
+            Some(i) => {
+                lied.remove(i);
+                true
+            }
+            None => false,
+        }
     }
 }
 
@@ -684,6 +860,118 @@ impl Vfs for FaultVfs {
 
     fn injected_faults(&self) -> u64 {
         self.injected.load(Ordering::Relaxed)
+    }
+
+    fn append_deferred(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        match self.decide(path, StorageOp::Append)? {
+            StorageFault::Eio => Err(eio("append")),
+            StorageFault::Enospc => Err(enospc("append")),
+            StorageFault::Torn(keep) => {
+                let _ = self
+                    .inner
+                    .append_deferred(path, &bytes[..Self::keep_len(bytes, keep)]);
+                Err(eio("append torn mid-write"))
+            }
+            StorageFault::FsyncLie(keep) => {
+                // The stage call loses the tail silently; the lie
+                // surfaces at the barrier (see [`Vfs::sync_barrier`]),
+                // where the sync "succeeds" and the device then dies.
+                let _ = self
+                    .inner
+                    .append_deferred(path, &bytes[..Self::keep_len(bytes, keep)]);
+                self.record_lie(path);
+                Ok(())
+            }
+            StorageFault::None | StorageFault::Slow(_) => self.inner.append_deferred(path, bytes),
+        }
+    }
+
+    fn write_atomic_deferred(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        match self.decide(path, StorageOp::AtomicWrite)? {
+            StorageFault::Eio => Err(eio("atomic write")),
+            StorageFault::Enospc => Err(enospc("atomic write")),
+            StorageFault::Torn(keep) => {
+                let torn = &bytes[..Self::keep_len(bytes, keep)];
+                let _ = std::fs::write(tmp_path(path), torn);
+                Err(eio("atomic write torn in tmp file"))
+            }
+            StorageFault::FsyncLie(_) => {
+                // The staged tmp is written, but the commit-time rename
+                // will "succeed" without landing: old content survives
+                // and the device dies (see [`Vfs::commit_atomic`]).
+                let _ = self.inner.write_atomic_deferred(path, bytes);
+                self.record_lie(path);
+                Ok(())
+            }
+            StorageFault::None | StorageFault::Slow(_) => {
+                self.inner.write_atomic_deferred(path, bytes)
+            }
+        }
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        if self.take_lie(path) {
+            self.mark_dead(path);
+            return Ok(());
+        }
+        match self.decide(path, StorageOp::SyncFile)? {
+            StorageFault::Eio | StorageFault::Torn(_) | StorageFault::FsyncLie(_) => {
+                Err(eio("sync_file"))
+            }
+            StorageFault::Enospc | StorageFault::None | StorageFault::Slow(_) => {
+                self.inner.sync_file(path)
+            }
+        }
+    }
+
+    fn commit_atomic(&self, path: &Path) -> io::Result<()> {
+        if self.take_lie(path) {
+            // The rename "succeeded" but never landed: the old content
+            // survives under a now-dead device.
+            self.mark_dead(path);
+            return Ok(());
+        }
+        match self.decide(path, StorageOp::Rename)? {
+            StorageFault::Eio | StorageFault::Torn(_) | StorageFault::FsyncLie(_) => {
+                Err(eio("rename"))
+            }
+            StorageFault::Enospc | StorageFault::None | StorageFault::Slow(_) => {
+                self.inner.commit_atomic(path)
+            }
+        }
+    }
+
+    fn sync_barrier(&self, paths: &[PathBuf]) -> Vec<io::Result<()>> {
+        // Draw per-path fates first (keeps the schedule keyed on paths,
+        // independent of how the daemon batches them), then one batched
+        // inner pass over the clean survivors.
+        let mut results: Vec<io::Result<()>> = Vec::with_capacity(paths.len());
+        let mut clean = Vec::new();
+        let mut clean_idx = Vec::new();
+        for (i, p) in paths.iter().enumerate() {
+            if self.take_lie(p) {
+                self.mark_dead(p);
+                results.push(Ok(()));
+                continue;
+            }
+            match self.decide(p, StorageOp::SyncFile) {
+                Err(e) => results.push(Err(e)),
+                Ok(StorageFault::Eio | StorageFault::Torn(_) | StorageFault::FsyncLie(_)) => {
+                    results.push(Err(eio("sync_barrier")))
+                }
+                Ok(StorageFault::Enospc | StorageFault::None | StorageFault::Slow(_)) => {
+                    results.push(Ok(()));
+                    clean_idx.push(i);
+                    clean.push(p.clone());
+                }
+            }
+        }
+        for (k, r) in self.inner.sync_barrier(&clean).into_iter().enumerate() {
+            if r.is_err() {
+                results[clean_idx[k]] = r;
+            }
+        }
+        results
     }
 }
 
@@ -969,5 +1257,167 @@ mod tests {
     fn plan_decision(vfs: &FaultVfs, path: &Path, op: StorageOp) -> StorageFault {
         let attempt = vfs.next_attempt(path, op);
         vfs.plan.decide(vfs.plan_path(path), op, attempt)
+    }
+
+    #[test]
+    fn deferred_append_then_barrier_lands_every_byte() {
+        let dir = tmp_dir("defer-append");
+        let p = dir.join("trace.jsonl");
+        RealVfs.append_deferred(&p, b"one\n").unwrap();
+        RealVfs.append_deferred(&p, b"two\n").unwrap();
+        for r in RealVfs.sync_barrier(std::slice::from_ref(&p)) {
+            r.unwrap();
+        }
+        assert_eq!(std::fs::read(&p).unwrap(), b"one\ntwo\n");
+        assert!(RealVfs.sync_barrier(&[]).is_empty(), "empty barrier no-ops");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn deferred_atomic_stages_then_commit_publishes() {
+        let dir = tmp_dir("defer-atomic");
+        let p = dir.join("session.json");
+        RealVfs.write_atomic(&p, b"old").unwrap();
+        RealVfs.write_atomic_deferred(&p, b"new").unwrap();
+        // Staged, not published: readers still see the old document.
+        assert_eq!(std::fs::read(&p).unwrap(), b"old");
+        assert_eq!(std::fs::read(tmp_path(&p)).unwrap(), b"new");
+        for r in RealVfs.sync_barrier(&[tmp_path(&p)]) {
+            r.unwrap();
+        }
+        RealVfs.commit_atomic(&p).unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), b"new");
+        assert!(!tmp_path(&p).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The trait defaults route the deferred surface through the eager
+    /// methods, so a wrapper that only overrides the eager nine stages
+    /// nothing and `commit_atomic` finds no tmp to rename.
+    #[test]
+    fn eager_defaults_keep_wrapper_vfs_correct() {
+        #[derive(Debug)]
+        struct EagerOnly;
+        impl Vfs for EagerOnly {
+            fn create_dir_all(&self, p: &Path) -> io::Result<()> {
+                RealVfs.create_dir_all(p)
+            }
+            fn read(&self, p: &Path) -> io::Result<Vec<u8>> {
+                RealVfs.read(p)
+            }
+            fn append_sync(&self, p: &Path, b: &[u8]) -> io::Result<()> {
+                RealVfs.append_sync(p, b)
+            }
+            fn truncate_sync(&self, p: &Path, n: u64) -> io::Result<()> {
+                RealVfs.truncate_sync(p, n)
+            }
+            fn file_len(&self, p: &Path) -> io::Result<u64> {
+                RealVfs.file_len(p)
+            }
+            fn write_atomic(&self, p: &Path, b: &[u8]) -> io::Result<()> {
+                RealVfs.write_atomic(p, b)
+            }
+            fn remove_file(&self, p: &Path) -> io::Result<()> {
+                RealVfs.remove_file(p)
+            }
+            fn remove_dir_all(&self, p: &Path) -> io::Result<()> {
+                RealVfs.remove_dir_all(p)
+            }
+            fn exists(&self, p: &Path) -> bool {
+                RealVfs.exists(p)
+            }
+        }
+        let dir = tmp_dir("eager-default");
+        let p = dir.join("session.json");
+        EagerOnly.write_atomic_deferred(&p, b"doc").unwrap();
+        // Eager fallback already renamed: the doc is live, no tmp staged.
+        assert_eq!(std::fs::read(&p).unwrap(), b"doc");
+        assert!(!tmp_path(&p).exists());
+        EagerOnly.commit_atomic(&p).unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), b"doc");
+        EagerOnly.append_deferred(&p, b"+").unwrap();
+        for r in EagerOnly.sync_barrier(std::slice::from_ref(&p)) {
+            r.unwrap();
+        }
+        assert_eq!(std::fs::read(&p).unwrap(), b"doc+");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A lying fsync drawn at stage time surfaces at the barrier: the
+    /// sync *reports success* while the tail never landed, and the
+    /// device then dies persistently — the staged replace must not be
+    /// published by `commit_atomic`.
+    #[test]
+    fn lie_staged_at_append_fires_at_the_barrier() {
+        let dir = tmp_dir("lie-barrier");
+        let trace = dir.join("trace.jsonl");
+        let vfs = FaultVfs::new(StorageFaultPlan::new(5, StorageFaultConfig::lies(1.0)));
+        vfs.append_deferred(&trace, b"0123456789abcdef").unwrap();
+        let results = vfs.sync_barrier(std::slice::from_ref(&trace));
+        assert!(results[0].is_ok(), "the lie reports success");
+        let on_disk = std::fs::read(&trace).unwrap();
+        assert!(on_disk.len() < 16, "the lie must lose the tail");
+        // The device is now dead: the epoch's renames and every later
+        // operation under the directory fail persistently.
+        assert!(vfs.append_sync(&trace, b"more").is_err());
+        assert!(vfs.write_atomic(&dir.join("session.json"), b"{}").is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lie_staged_at_atomic_write_skips_the_rename() {
+        let dir = tmp_dir("lie-rename");
+        let doc = dir.join("session.json");
+        let vfs = FaultVfs::new(StorageFaultPlan::new(5, StorageFaultConfig::lies(1.0)));
+        RealVfs.write_atomic(&doc, b"old").unwrap();
+        vfs.write_atomic_deferred(&doc, b"new").unwrap();
+        // Lie consumed at commit: reports success, publishes nothing.
+        vfs.commit_atomic(&doc).unwrap();
+        assert_eq!(std::fs::read(&doc).unwrap(), b"old");
+        assert!(vfs.append_sync(&dir.join("trace.jsonl"), b"x").is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Satellite: barrier-time syncs must book under the `SyncBarrier`
+    /// profiler phase, not `Fsync`, so the loadgen matrix can split
+    /// "per-write fsync" from "batched barrier" wall time. Runs under the
+    /// deterministic counting clock; per-thread rows isolate this test
+    /// from concurrent tests in the same binary.
+    #[test]
+    fn barrier_time_books_under_sync_barrier_phase() {
+        use mwu_core::prof;
+        let dir = tmp_dir("prof-phase");
+        let p = dir.join("trace.jsonl");
+        prof::set_counting_clock(1_000);
+        prof::set_enabled(true);
+        RealVfs.append_deferred(&p, b"staged\n").unwrap();
+        for r in RealVfs.sync_barrier(std::slice::from_ref(&p)) {
+            r.unwrap();
+        }
+        RealVfs.append_sync(&p, b"eager\n").unwrap();
+        prof::set_enabled(false);
+        let report = prof::snapshot();
+        let me = std::thread::current().name().unwrap_or("main").to_string();
+        let mine = report
+            .per_thread
+            .iter()
+            .find(|t| t.thread == me)
+            .expect("this thread recorded spans");
+        let total = |phase: &str| {
+            mine.spans
+                .iter()
+                .filter(|s| s.phase == phase)
+                .map(|s| (s.count, s.total_ns))
+                .next()
+                .unwrap_or((0, 0))
+        };
+        let (barrier_n, barrier_ns) = total("sync_barrier");
+        let (fsync_n, fsync_ns) = total("fsync");
+        assert!(barrier_n >= 1, "barrier sync must record a span");
+        assert!(barrier_ns > 0, "counting clock must advance inside it");
+        assert!(fsync_n >= 1, "eager append still books under fsync");
+        assert!(fsync_ns > 0);
+        prof::set_monotonic_clock();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

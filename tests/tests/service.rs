@@ -651,6 +651,123 @@ fn profiling_on_vs_off_leaves_every_byte_identical() {
     std::fs::remove_dir_all(&on_dir).unwrap();
 }
 
+// ---------------------------------------------------------------------------
+// Group commit: eager mode is byte-identical, and crash points *inside* a
+// commit epoch (staged-but-unsynced appends, staged-but-unpublished
+// checkpoint replaces, lost renames) all resume byte-identically.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn eager_sync_matches_group_commit_and_zeroes_barrier_metrics() {
+    ensure_pool();
+    const SLICE: usize = 4;
+    let jobs: Vec<JobSpec> = (0..10u64)
+        .map(|i| {
+            let mut j = job(&format!("gc-job-{i}"), &format!("gc-t{}", i % 4), 50 + i);
+            j.max_iterations = 8 + (i as usize % 6);
+            j
+        })
+        .collect();
+    let bytes = batch(&jobs, &[]);
+
+    // Default mode: group commit. The barrier must actually batch.
+    let gc_dir = tmp_dir("mode-gc");
+    let gc = run_daemon(&gc_dir, &bytes, SLICE, None, 8);
+    assert_eq!(gc.completed, jobs.len());
+    assert!(gc.io_syncs_batched > 0, "group commit must batch syncs");
+    assert!(gc.sync_barrier.count > 0, "barrier latency must be sampled");
+    assert!(!gc.sync_barrier.is_zero());
+
+    // Eager mode: per-write fsyncs, and the batching metrics stay zero.
+    let eager_dir = tmp_dir("mode-eager");
+    let mut config = DaemonConfig::new(&eager_dir);
+    config.slice_iterations = SLICE;
+    config.quiet = true;
+    config.group_commit = false;
+    let mut daemon = Daemon::open(config).expect("open daemon");
+    daemon.submit_bytes(&bytes).expect("submit batch");
+    let eager = rayon::with_max_threads(8, || daemon.run()).expect("daemon run");
+    assert_eq!(eager.completed, jobs.len());
+    assert_eq!(eager.io_syncs_batched, 0, "eager mode must not batch");
+    assert!(
+        eager.sync_barrier.is_zero(),
+        "eager mode must record no barrier samples: {:?}",
+        eager.sync_barrier
+    );
+
+    for j in &jobs {
+        assert_eq!(
+            session_bytes(&gc_dir, &j.tenant, &j.id),
+            session_bytes(&eager_dir, &j.tenant, &j.id),
+            "group commit changed artifact bytes of {}",
+            j.id
+        );
+    }
+    std::fs::remove_dir_all(&gc_dir).unwrap();
+    std::fs::remove_dir_all(&eager_dir).unwrap();
+}
+
+#[test]
+fn kill_inside_commit_epoch_resumes_byte_identically() {
+    ensure_pool();
+    const SLICE: usize = 3;
+    let jobs: Vec<JobSpec> = (0..6u64)
+        .map(|i| {
+            let mut j = job(&format!("ep-job-{i}"), &format!("ep-t{}", i % 3), 60 + i);
+            j.max_iterations = 12;
+            j
+        })
+        .collect();
+    let bytes = batch(&jobs, &[]);
+
+    let ref_dir = tmp_dir("epoch-ref");
+    run_daemon(&ref_dir, &bytes, SLICE, None, 8);
+
+    for threads in [1usize, 4, 8] {
+        let dir = tmp_dir(&format!("epoch-{threads}"));
+        let s1 = run_daemon(&dir, &bytes, SLICE, Some(1), threads);
+        assert_eq!(s1.halted_active, jobs.len(), "all mid-flight after round 1");
+        let victim = dir.join("tenants").join("ep-t0").join("ep-job-0");
+        let round1_meta = std::fs::read(victim.join("session.json")).expect("checkpoint");
+
+        // Crash point A — between a staged append and its barrier: the
+        // trace carries complete extra lines past the vouched trace_len.
+        // Recovery must truncate to the vouch and replay them.
+        {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(victim.join("trace.jsonl"))
+                .unwrap();
+            f.write_all(b"{\"Iteration\":{\"iteration\":999,\"staged\":true}}\n")
+                .unwrap();
+        }
+        let s2 = resume_daemon(&dir, SLICE, Some(1), threads);
+        assert!(s2.halted_active > 0, "victim still mid-flight");
+
+        // Crash point B — between the barrier and the checkpoint
+        // publish: a staged session.json.tmp that never got renamed.
+        std::fs::write(victim.join("session.json.tmp"), b"{\"staged\":").unwrap();
+        // Crash point C — lost rename: the barrier made round 2's trace
+        // bytes durable but the crash ate the session.json rename, so
+        // the on-disk checkpoint still vouches for round 1.
+        std::fs::write(victim.join("session.json"), &round1_meta).unwrap();
+
+        let s3 = resume_daemon(&dir, SLICE, None, threads);
+        assert_eq!(s3.completed, jobs.len());
+        for j in &jobs {
+            assert_eq!(
+                session_bytes(&dir, &j.tenant, &j.id),
+                session_bytes(&ref_dir, &j.tenant, &j.id),
+                "mid-epoch crash changed bytes of {} at {threads} threads",
+                j.id
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    std::fs::remove_dir_all(&ref_dir).unwrap();
+}
+
 static ROTATION_PROP_REFERENCE: std::sync::OnceLock<(Vec<u8>, Vec<u8>)> =
     std::sync::OnceLock::new();
 

@@ -553,6 +553,79 @@ fn budget_exhaustion_and_quarantine_compose() {
 }
 
 // ---------------------------------------------------------------------------
+// Lying fsync mid-barrier: the group-commit epoch's scariest crash. An
+// append or checkpoint replace staged during the slice reports durable at
+// the barrier while its tail never landed, and the device then dies. The
+// lied sessions must quarantine (thread-count-invariantly), bystanders
+// stay byte-identical, and a healed resume completes everyone.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn lying_fsync_mid_barrier_quarantines_and_heals() {
+    ensure_pool();
+    let ref_dir = tmp_dir("lieb-ref");
+    run_daemon_on(&ref_dir, &batch(&fleet_jobs(), &[]), Arc::new(RealVfs), 1).expect("reference");
+
+    let workdir = tmp_dir("lieb");
+    let mut baseline: Option<(BTreeSet<String>, BTreeSet<String>)> = None;
+    for threads in [1usize, 4, 8] {
+        let _ = std::fs::remove_dir_all(&workdir);
+        let plan = StorageFaultPlan::new(1207, StorageFaultConfig::lies(0.05));
+        let (summary, completed, quarantined) = run_split(
+            &workdir,
+            &batch(&fleet_jobs(), &[]),
+            Arc::new(FaultVfs::rooted(plan, &workdir)),
+            threads,
+        );
+        assert!(
+            summary.io_faults_injected > 0,
+            "the lie schedule must fire (threads={threads})"
+        );
+        assert_eq!(completed.len() + quarantined.len(), FLEET.len());
+        for (id, tenant, _) in FLEET.iter().filter(|(id, ..)| completed.contains(*id)) {
+            assert_eq!(
+                session_bytes(&workdir, tenant, id),
+                session_bytes(&ref_dir, tenant, id),
+                "bystander {id} unaffected by the mid-barrier lie at {threads} threads"
+            );
+        }
+        match &baseline {
+            None => baseline = Some((completed, quarantined)),
+            Some((c0, q0)) => {
+                assert_eq!(&completed, c0, "outcome split varies with threads");
+                assert_eq!(&quarantined, q0, "quarantine set varies with threads");
+            }
+        }
+    }
+    let (completed, quarantined) = baseline.expect("three runs");
+    assert!(
+        !quarantined.is_empty(),
+        "this schedule is tuned to catch at least one session lying"
+    );
+    assert!(
+        !completed.is_empty(),
+        "and to leave at least one bystander alive"
+    );
+
+    // A new daemon generation discards the dead device; the healed disk
+    // truncates every lied tail back to its last true vouch and replays.
+    let (summary, completed, still_quarantined) =
+        run_split(&workdir, &batch(&fleet_jobs(), &[]), Arc::new(RealVfs), 4);
+    assert_eq!(summary.sessions_quarantined, 0);
+    assert!(still_quarantined.is_empty());
+    assert_eq!(completed.len(), FLEET.len());
+    for (id, tenant, _) in &FLEET {
+        assert_eq!(
+            session_bytes(&workdir, tenant, id),
+            session_bytes(&ref_dir, tenant, id),
+            "lied {id} must heal byte-identically"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&workdir);
+    let _ = std::fs::remove_dir_all(&ref_dir);
+}
+
+// ---------------------------------------------------------------------------
 // Property: arbitrary fault schedules never abort the daemon, and a clean
 // resume always heals to byte-identical artifacts.
 // ---------------------------------------------------------------------------
